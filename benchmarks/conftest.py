@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at full
+scale, asserts its qualitative shape, and prints the paper-style
+rendering (visible with ``pytest benchmarks/ --benchmark-only -s``).
+Simulated joins are deterministic, so each benchmark runs a single round.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,53 @@
+"""Figures 10 and 11 (Experiment 3 at slow and fast tape speeds).
+
+The paper varies tape speed through data compressibility (0 % → 1.5 MB/s,
+50 % → 3.0 MB/s) and finds that a faster tape *raises* every method's
+relative overhead (the optimum falls faster than the response), with the
+concurrent, disk-bound methods shifting the most.
+"""
+
+import pytest
+
+from repro.experiments.exp3 import run_experiment3
+from repro.storage.block import BlockSpec
+
+FRACTIONS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {
+        speed: run_experiment3(speed, memory_fractions=FRACTIONS)
+        for speed in ("slow", "base", "fast")
+    }
+
+
+def test_bench_figure10_slow_tape(once, sweeps):
+    result = once(run_experiment3, "slow", memory_fractions=(0.3, 0.7))
+    assert result.tape_speed == "slow"
+    slow, base = sweeps["slow"].overhead_pct(), sweeps["base"].overhead_pct()
+    for symbol in slow:
+        for s_val, b_val in zip(slow[symbol], base[symbol]):
+            if s_val is not None and b_val is not None:
+                assert s_val < b_val, symbol
+    print("\n" + sweeps["slow"].render(BlockSpec()))
+
+
+def test_bench_figure11_fast_tape(once, sweeps):
+    result = once(run_experiment3, "fast", memory_fractions=(0.3, 0.7))
+    assert result.tape_speed == "fast"
+    fast, base = sweeps["fast"].overhead_pct(), sweeps["base"].overhead_pct()
+    for symbol in fast:
+        for f_val, b_val in zip(fast[symbol], base[symbol]):
+            if f_val is not None and b_val is not None:
+                assert f_val > b_val, symbol
+    # The concurrent method's overhead moves more than the sequential
+    # one's in absolute terms (Figures 9 vs 11 in the paper).
+    slow = sweeps["slow"].overhead_pct()
+    cdt_shift = min(
+        f - s
+        for f, s in zip(fast["CDT-GH"], slow["CDT-GH"])
+        if f is not None and s is not None
+    )
+    assert cdt_shift > 20.0  # at least +20 points of overhead
+    print("\n" + sweeps["fast"].render(BlockSpec()))

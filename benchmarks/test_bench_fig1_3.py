@@ -1,0 +1,52 @@
+"""Figures 1–3: analytical expected response time curves.
+
+Regenerates the three charts (|S| = 10|R|, D = 32M, X_D = 2X_T) and
+checks the paper's reading of them: NB methods degrade as |R| outgrows M,
+the disk–tape hash methods blow up as |R| approaches D, and CTT-GH scales
+gracefully far beyond both M and D.
+"""
+
+import math
+
+from repro.experiments.analytical import figure1, figure2, figure3
+
+
+def test_bench_figure1_small_r(once):
+    result = once(figure1)
+    curves = result.curves
+    # NB response climbs with |R|/M; hash methods stay in a narrow band.
+    assert curves["DT-NB"][-1] > 1.8 * curves["DT-NB"][0]
+    assert curves["CDT-NB/MB"][-1] > 3 * curves["CDT-NB/MB"][0]
+    gh = [v for v in curves["CDT-GH"] if not math.isinf(v)]
+    assert max(gh) < 2 * min(gh)
+    print("\n" + result.render())
+
+
+def test_bench_figure2_medium_r(once):
+    result = once(figure2)
+    curves = result.curves
+    cdt_gh = [v for v in curves["CDT-GH"] if not math.isinf(v)]
+    # Blow-up as |R| -> D: the last feasible point dwarfs the best one.
+    assert cdt_gh[-1] > 4 * min(cdt_gh)
+    # CTT-GH unaffected by |R| approaching D.
+    ctt = curves["CTT-GH"]
+    assert max(ctt) < 3 * min(ctt)
+    # TT-GH's setup cost rules it out: always the worst feasible hash method.
+    for tt, ctt_v in zip(curves["TT-GH"], ctt):
+        if not math.isinf(tt):
+            assert tt > ctt_v
+    print("\n" + result.render())
+
+
+def test_bench_figure3_large_r(once):
+    result = once(figure3)
+    curves = result.curves
+    # Disk–tape methods are infeasible beyond |R| > D = 32M.
+    for symbol in ("DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH"):
+        assert all(math.isinf(v) for ratio, v in zip(result.ratios, curves[symbol])
+                   if ratio > 32)
+    # CTT-GH rises gently and stays within the paper's chart (y <= 6).
+    ctt = curves["CTT-GH"]
+    assert ctt == sorted(ctt) or max(ctt) < 6.0
+    assert max(ctt) < 6.0
+    print("\n" + result.render())

@@ -1,0 +1,25 @@
+"""Figure 4: disk buffer utilization under interleaved double-buffering.
+
+Traces Step II of Join III (scaled 0.2x — the utilization pattern is
+scale-free) and checks the paper's claims: total occupancy pinned near
+100 % while the even/odd iteration shares alternate in a shark-tooth.
+"""
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.exp1 import run_figure4
+
+
+def test_bench_figure4(once):
+    result = once(run_figure4, scale=ExperimentScale(tuple_bytes=8192, scale=0.2))
+
+    assert result.mean_total_pct > 85.0
+    # The buffer reaches (essentially) full occupancy.
+    assert max(result.total_pct) > 97.0
+    # Shark-tooth: each parity takes the lead many times.
+    even_leads = sum(1 for e, o in zip(result.even_pct, result.odd_pct) if e > o + 20)
+    odd_leads = sum(1 for e, o in zip(result.even_pct, result.odd_pct) if o > e + 20)
+    assert even_leads >= 4 and odd_leads >= 4
+    # Ledger consistency.
+    for e, o, t in zip(result.even_pct, result.odd_pct, result.total_pct):
+        assert abs(e + o - t) < 0.5
+    print("\n" + result.render(samples=24))

@@ -1,0 +1,37 @@
+"""Figure 5 (Experiment 2): CDT-GH vs CTT-GH as disk space varies.
+
+|S| = 1 000 MB, |R| = 18 MB, M = 0.1|R|, D from 0.5|R| to 3|R| — at paper
+scale.  The paper's reading: CDT-GH performs very poorly as D approaches
+|R| (R read ~500 times at D = 20 MB) while CTT-GH keeps all of D for S
+buffering (R read ~50 times) and wins whenever D ≲ |R|.
+"""
+
+from repro.experiments.exp2 import run_experiment2
+
+
+def test_bench_figure5_full_scale(once):
+    result = once(run_experiment2)
+    cdt = result.series["CDT-GH"]
+    ctt = result.series["CTT-GH"]
+
+    # CDT-GH infeasible at or below D = |R|.
+    for point in cdt:
+        if point.d_mb <= result.r_mb:
+            assert point.response_s is None
+    # Explosion near D = |R|: first feasible point far above the last.
+    feasible = [p for p in cdt if p.response_s is not None]
+    assert feasible[0].response_s > 1.5 * feasible[-1].response_s
+    # Paper's worked numbers: at D = 1.1|R| CDT-GH re-reads R hundreds of
+    # times, CTT-GH only ~|S|/D times.
+    near = min(feasible, key=lambda p: p.d_mb)
+    assert near.r_scans > 100
+    ctt_near = next(p for p in ctt if p.d_mb == near.d_mb)
+    assert ctt_near.r_scans < 0.2 * near.r_scans
+    # CTT-GH covers the whole range and stays comparatively flat.
+    assert all(p.response_s is not None for p in ctt)
+    values = [p.response_s for p in ctt]
+    assert max(values) < 2.5 * min(values)
+    # Crossover: CTT-GH wins near |R|, CDT-GH wins with ample disk.
+    assert feasible[0].response_s > ctt_near.response_s
+    assert feasible[-1].response_s < values[-1]
+    print("\n" + result.render())

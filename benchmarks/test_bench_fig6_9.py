@@ -1,0 +1,72 @@
+"""Figures 6–9 (Experiment 3, base tape speed) at paper scale.
+
+One memory sweep of the five disk–tape methods yields four figures:
+disk space requirement (6), disk I/O traffic (7), response time (8) and
+relative join overhead (9).  Checks the paper's reading of each.
+"""
+
+import pytest
+
+from repro.experiments.exp3 import run_experiment3
+from repro.storage.block import BlockSpec
+
+SPEC = BlockSpec()
+
+
+@pytest.fixture(scope="module")
+def exp3_base_result():
+    return run_experiment3("base")
+
+
+def test_bench_experiment3_base(once, exp3_base_result):
+    # The benchmark measures a fresh (smaller) sweep; assertions run on
+    # the module-scoped full sweep.
+    result = once(
+        run_experiment3, "base", memory_fractions=(0.1, 0.5, 0.9)
+    )
+    assert result.tape_speed == "base"
+    full = exp3_base_result
+    print("\n" + full.render(SPEC))
+
+    response = full.figure8_response_s()
+    overhead = full.overhead_pct()
+    space = full.figure6_disk_space_mb(SPEC)
+    traffic = full.figure7_disk_traffic_mb(SPEC)
+
+    # Figure 6: NB methods need |R| of disk; DB adds its chunk; the GH
+    # methods' fixed footprint is the largest.
+    for value in space["DT-NB"]:
+        assert value == pytest.approx(full.r_mb, rel=0.06)
+    for nb, db, gh in zip(space["DT-NB"], space["CDT-NB/DB"], space["CDT-GH"]):
+        if gh is not None:
+            assert nb < db < gh + 1e-9
+
+    # Figure 7: NB traffic explodes at small M and falls with M; GH
+    # traffic is flat and identical between DT-GH and CDT-GH.
+    assert traffic["DT-NB"][0] > 2 * traffic["DT-NB"][-1]
+    gh_values = [v for v in traffic["CDT-GH"] if v is not None]
+    assert max(gh_values) < 1.4 * min(gh_values)
+    for dt, cdt in zip(traffic["DT-GH"], traffic["CDT-GH"]):
+        if dt is not None and cdt is not None:
+            assert dt == pytest.approx(cdt, rel=0.02)
+    # CDT-NB/MB does ~2x the R scans of DT-NB in the low-memory range.
+    assert traffic["CDT-NB/MB"][0] == pytest.approx(2 * traffic["DT-NB"][0], rel=0.15)
+
+    # Figures 8/9: every NB method collapses at small M; CDT-GH is flat
+    # and dominates the small/medium range; CDT-NB/MB wins at large M;
+    # the CDT-GH x CDT-NB/MB crossover falls in the upper-middle range
+    # (the paper puts it at M = 0.7|R|).
+    fractions = full.memory_fractions
+    assert response["DT-NB"][0] > 2 * response["DT-NB"][-1]
+    cdt_gh = overhead["CDT-GH"]
+    mb = overhead["CDT-NB/MB"]
+    assert cdt_gh[0] < mb[0]
+    assert mb[-1] < cdt_gh[-1]
+    crossover = next(
+        f for f, g, m in zip(fractions, cdt_gh, mb) if m is not None and m < g
+    )
+    assert 0.35 <= crossover <= 0.85
+    # The parallel-I/O margin: CDT-GH beats DT-GH across the whole range.
+    for dt, cdt in zip(response["DT-GH"], response["CDT-GH"]):
+        if dt is not None and cdt is not None:
+            assert cdt < dt

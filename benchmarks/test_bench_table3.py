@@ -1,0 +1,28 @@
+"""Table 3 (Experiment 1): CTT-GH on the four large joins, at paper scale.
+
+|S| from 1 000 to 10 000 MB, |R| half of |S| (Join IV: 2 500 MB),
+D = |R|/5, M = 16 MB.  The paper measured relative costs 7.9 / 7.3 /
+6.9 / 6.8; the simulated shape must land in the same band, with Join IV
+(|S| doubled, everything else fixed) amortizing the setup below Join III.
+"""
+
+from repro.experiments.exp1 import run_experiment1
+
+
+def test_bench_table3_full_scale(once):
+    result = once(run_experiment1)
+    rows = {row.name: row for row in result.rows}
+
+    for row in result.rows:
+        assert 4.0 < row.relative_cost < 10.0, row
+        assert row.step1_s < row.total_s
+    # Joins I–III share every ratio, so their relative costs agree.
+    costs = [rows[name].relative_cost for name in ("Join I", "Join II", "Join III")]
+    assert max(costs) - min(costs) < 1.0
+    # Join IV amortizes Step I over a doubled |S|.
+    assert rows["Join IV"].relative_cost < rows["Join III"].relative_cost
+    # Step I depends on |R| and D only (identical for Joins III and IV).
+    assert abs(rows["Join III"].step1_s - rows["Join IV"].step1_s) < 0.02 * (
+        rows["Join III"].step1_s
+    )
+    print("\n" + result.render())

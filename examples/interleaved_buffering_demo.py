@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Visualize interleaved double-buffering (the paper's Figure 4).
+
+Runs a scaled-down Join III with CTT-GH, traces the occupancy of the
+shared S-buffer during Step II, and draws the shark-tooth chart as ASCII:
+the even-iteration share rises while the odd-iteration share drains (and
+vice versa), and the total stays pinned near 100 % — the property that
+lets one physical buffer serve two logical buffers without halving the
+iteration size.
+
+Run with::
+
+    python examples/interleaved_buffering_demo.py
+"""
+
+from repro.experiments import run_figure4
+from repro.experiments.config import ExperimentScale
+
+WIDTH = 60
+
+
+def bar(even_pct: float, odd_pct: float) -> str:
+    """One chart row: '=' for the even share, '+' for the odd share."""
+    even_cols = round(WIDTH * even_pct / 100.0)
+    odd_cols = round(WIDTH * odd_pct / 100.0)
+    return "=" * even_cols + "+" * odd_cols
+
+
+def main() -> None:
+    print("Simulating Step II of a scaled Join III (CTT-GH)...\n")
+    result = run_figure4(scale=ExperimentScale(tuple_bytes=8192, scale=0.1))
+
+    print("disk S-buffer occupancy during Step II "
+          "('=' even iterations, '+' odd iterations)\n")
+    print(f"{'time (s)':>9s}  {'total':>6s}  |{'':-^{WIDTH}}|")
+    stride = max(1, len(result.times_s) // 40)
+    for i in range(0, len(result.times_s), stride):
+        print(
+            f"{result.times_s[i]:9.0f}  {result.total_pct[i]:5.1f}%  "
+            f"|{bar(result.even_pct[i], result.odd_pct[i]):<{WIDTH}}|"
+        )
+    print(f"\ntime-average total utilization: {result.mean_total_pct:.1f} % "
+          "(the paper's Figure 4 shows the same near-100 % plateau)")
+
+
+if __name__ == "__main__":
+    main()

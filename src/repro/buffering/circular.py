@@ -1,0 +1,59 @@
+"""Circular main-memory buffer for producer/consumer pipelines.
+
+"For main memory buffers, a simple circular buffer implementation is
+sufficient" (Section 4): a producer process puts chunks as space frees up,
+a consumer takes them in FIFO order, and the two proceed concurrently.
+Used both for memory double-buffering and as the small speed-matching
+buffer between a tape drive and the disks.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.simulator.engine import Simulator
+from repro.simulator.resources import Container, Store
+from repro.storage.block import DataChunk
+
+#: Sentinel object a producer puts to signal end-of-stream.
+END_OF_STREAM = object()
+
+
+class CircularBuffer:
+    """A bounded FIFO of :class:`DataChunk` with block-level space control."""
+
+    def __init__(self, sim: Simulator, capacity_blocks: float, name: str = "circular"):
+        if capacity_blocks <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_blocks}")
+        self.sim = sim
+        self.name = name
+        self.capacity_blocks = float(capacity_blocks)
+        self._free = Container(sim, capacity=capacity_blocks, init=capacity_blocks)
+        self._items = Store(sim)
+
+    @property
+    def level_blocks(self) -> float:
+        """Blocks currently buffered."""
+        return self.capacity_blocks - self._free.level
+
+    def put(self, chunk: DataChunk) -> typing.Generator:
+        """Producer side: wait for space, then enqueue ``chunk``."""
+        if chunk.n_blocks > self.capacity_blocks + 1e-9:
+            raise ValueError(
+                f"chunk of {chunk.n_blocks:.2f} blocks exceeds buffer "
+                f"capacity {self.capacity_blocks:.2f} ({self.name})"
+            )
+        yield self._free.get(min(chunk.n_blocks, self.capacity_blocks))
+        yield self._items.put(chunk)
+
+    def close(self) -> typing.Generator:
+        """Producer side: signal that no more chunks will arrive."""
+        yield self._items.put(END_OF_STREAM)
+
+    def get(self) -> typing.Generator:
+        """Consumer side: dequeue the next chunk (None at end of stream)."""
+        item = yield self._items.get()
+        if item is END_OF_STREAM:
+            return None
+        yield self._free.put(min(item.n_blocks, self.capacity_blocks))
+        return item

@@ -1,0 +1,264 @@
+"""Interleaved double-buffered disk space (Section 4).
+
+One physical disk region of ``capacity_blocks`` is shared by two logical
+buffers, identified by iteration number: while the join consumes iteration
+*i*'s chunks (releasing their space as each is read), the hash/prefetch
+process fills iteration *i+1* into the space just released.  The number of
+iterations is unchanged relative to a single buffer, and occupancy stays
+near 100 % — the property Figure 4 demonstrates.
+
+Chunks are tagged (e.g. with a hash bucket id) so the consumer can fetch
+exactly the chunks of one bucket, in any order, without draining the FIFO.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.simulator.engine import Simulator
+from repro.simulator.events import Event
+from repro.simulator.resources import Container
+from repro.simulator.trace import TraceCollector
+from repro.storage.block import DataChunk
+from repro.storage.disk_array import DiskArray, StripedExtent
+
+
+class InterleavedDiskBuffer:
+    """A shared physical disk buffer holding two logical iteration buffers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        array: DiskArray,
+        name: str,
+        capacity_blocks: float,
+        trace: TraceCollector | None = None,
+    ):
+        if capacity_blocks <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_blocks}")
+        self.sim = sim
+        self.array = array
+        self.name = name
+        self.capacity_blocks = float(capacity_blocks)
+        self.extent: StripedExtent = array.allocate(name)
+        self._free = Container(sim, capacity=capacity_blocks, init=capacity_blocks)
+        self._pending: dict[int, dict[object, list]] = {}
+        self._done: dict[int, Event] = {}
+        self._occupancy: dict[int, float] = {}
+        self.trace = trace
+        self._record()  # initial empty-buffer sample anchors the series
+
+    # -- occupancy ledger -------------------------------------------------------
+
+    @property
+    def level_blocks(self) -> float:
+        """Blocks currently held across both logical buffers."""
+        return self.capacity_blocks - self._free.level
+
+    def iteration_level(self, iteration: int) -> float:
+        """Blocks currently held by one iteration's logical buffer."""
+        return self._occupancy.get(iteration, 0.0)
+
+    def _record(self) -> None:
+        if self.trace is None:
+            return
+        now = self.sim.now
+        even = sum(v for it, v in self._occupancy.items() if it % 2 == 0)
+        odd = sum(v for it, v in self._occupancy.items() if it % 2 == 1)
+        self.trace.timeseries(f"{self.name}.even").record(now, even)
+        self.trace.timeseries(f"{self.name}.odd").record(now, odd)
+        self.trace.timeseries(f"{self.name}.total").record(now, even + odd)
+
+    # -- producer side ------------------------------------------------------------
+
+    def put(self, iteration: int, tag: object, chunk: DataChunk) -> typing.Generator:
+        """Write ``chunk`` for ``iteration`` under ``tag``, waiting for space."""
+        if chunk.n_blocks > self.capacity_blocks + 1e-9:
+            raise ValueError(
+                f"chunk of {chunk.n_blocks:.2f} blocks exceeds buffer "
+                f"capacity {self.capacity_blocks:.2f} ({self.name})"
+            )
+        yield self._free.get(chunk.n_blocks)
+        yield from self.array.write(self.extent, chunk)
+        placed = self.extent.chunks[-1]
+        self._pending.setdefault(iteration, {}).setdefault(tag, []).append(placed)
+        self._occupancy[iteration] = self._occupancy.get(iteration, 0.0) + chunk.n_blocks
+        self._record()
+
+    def put_many(
+        self, iteration: int, tagged_chunks: list[tuple[object, DataChunk]]
+    ) -> typing.Generator:
+        """Write a burst of tagged chunks for ``iteration`` in one operation.
+
+        Space for the whole burst is claimed first (backpressure), then the
+        chunks are written as a single disk burst — the flush pattern of a
+        hash process emptying its per-bucket staging buffers.
+        """
+        total = sum(chunk.n_blocks for _tag, chunk in tagged_chunks)
+        if total > self.capacity_blocks + 1e-9:
+            raise ValueError(
+                f"burst of {total:.2f} blocks exceeds buffer capacity "
+                f"{self.capacity_blocks:.2f} ({self.name})"
+            )
+        if total <= 0:
+            return
+        yield self._free.get(total)
+        placed_new = yield from self.array.write_burst(
+            [(self.extent, chunk) for _tag, chunk in tagged_chunks]
+        )
+        for (tag, _chunk), placed in zip(tagged_chunks, placed_new):
+            self._pending.setdefault(iteration, {}).setdefault(tag, []).append(placed)
+        self._occupancy[iteration] = self._occupancy.get(iteration, 0.0) + total
+        self._record()
+
+    def end_iteration(self, iteration: int) -> None:
+        """Mark ``iteration``'s logical buffer as completely written."""
+        event = self._done_event(iteration)
+        if not event.triggered:
+            event.succeed()
+
+    # -- consumer side --------------------------------------------------------------
+
+    def _done_event(self, iteration: int) -> Event:
+        if iteration not in self._done:
+            self._done[iteration] = Event(self.sim)
+        return self._done[iteration]
+
+    def wait_iteration(self, iteration: int) -> Event:
+        """Event triggering once ``iteration`` is fully written."""
+        return self._done_event(iteration)
+
+    def tags(self, iteration: int) -> list:
+        """Tags with pending chunks for ``iteration`` (insertion order)."""
+        return list(self._pending.get(iteration, {}).keys())
+
+    def has_pending(self, iteration: int, tag: object) -> bool:
+        """True while ``tag`` still has unread chunks in ``iteration``."""
+        return bool(self._pending.get(iteration, {}).get(tag))
+
+    def pending_blocks(self, iteration: int, tag: object) -> float:
+        """Blocks currently buffered under ``tag`` in ``iteration``."""
+        group = self._pending.get(iteration, {}).get(tag, [])
+        return sum(placed.data.n_blocks for placed in group)
+
+    def peek_coalesced(
+        self, iteration: int, tag: object, start_chunk: int, max_blocks: float
+    ) -> typing.Generator:
+        """Read up to ``max_blocks`` of ``tag`` starting at ``start_chunk``
+        *without releasing anything*.
+
+        Returns ``(data, next_chunk)``; ``data`` is None past the end.
+        The bucket-overflow path scans the same S bucket repeatedly, once
+        per memory-sized piece of an oversized R bucket, then frees it in
+        one step with :meth:`discard`.
+        """
+        group = self._pending.get(iteration, {}).get(tag, [])
+        if start_chunk >= len(group):
+            return None, start_chunk
+        batch = []
+        total = 0.0
+        index = start_chunk
+        while index < len(group) and (
+            not batch or total + group[index].data.n_blocks <= max_blocks + 1e-9
+        ):
+            batch.append(group[index])
+            total += group[index].data.n_blocks
+            index += 1
+        data = yield from self.array.read_chunks(self.extent, batch, consume=False)
+        return data, index
+
+    def discard(self, iteration: int, tag: object) -> None:
+        """Release every chunk of ``tag`` without further disk reads."""
+        group = self._pending.get(iteration, {}).pop(tag, None)
+        if group is None:
+            raise KeyError(f"no chunks tagged {tag!r} in iteration {iteration}")
+        total = 0.0
+        for placed in group:
+            total += placed.data.n_blocks
+            self.extent._bury(placed)
+        self._occupancy[iteration] -= total
+        self._free.put(total)
+        self._record()
+
+    def pop_chunk(self, iteration: int, tag: object) -> typing.Generator:
+        """Read and release the next chunk of ``tag`` (None when exhausted).
+
+        Streaming counterpart of :meth:`take` for consumers that must not
+        materialize a whole bucket in memory.
+        """
+        group = self._pending.get(iteration, {}).get(tag)
+        if not group:
+            self._pending.get(iteration, {}).pop(tag, None)
+            return None
+        placed = group.pop(0)
+        if not group:
+            self._pending.get(iteration, {}).pop(tag, None)
+        data = yield from self.array.read_chunk(self.extent, placed)
+        self._occupancy[iteration] -= data.n_blocks
+        yield self._free.put(data.n_blocks)
+        self._record()
+        return data
+
+    def pop_coalesced(
+        self, iteration: int, tag: object, max_blocks: float
+    ) -> typing.Generator:
+        """Read and release up to ``max_blocks`` of ``tag`` as one burst.
+
+        Returns ``None`` once the tag is exhausted.  This is the streaming
+        probe path: the consumer bounds its memory by ``max_blocks`` while
+        the scattered flush fragments of one bucket are fetched together.
+        """
+        group = self._pending.get(iteration, {}).get(tag)
+        if not group:
+            self._pending.get(iteration, {}).pop(tag, None)
+            return None
+        batch = []
+        total = 0.0
+        while group and (not batch or total + group[0].data.n_blocks <= max_blocks + 1e-9):
+            placed = group.pop(0)
+            batch.append(placed)
+            total += placed.data.n_blocks
+        if not group:
+            self._pending.get(iteration, {}).pop(tag, None)
+        data = yield from self.array.read_chunks(self.extent, batch)
+        self._occupancy[iteration] -= data.n_blocks
+        yield self._free.put(data.n_blocks)
+        self._record()
+        return data
+
+    def take(self, iteration: int, tag: object) -> typing.Generator:
+        """Read and release every chunk of ``tag`` in ``iteration``."""
+        group = self._pending.get(iteration, {}).pop(tag, None)
+        if group is None:
+            raise KeyError(f"no chunks tagged {tag!r} in iteration {iteration}")
+        pieces = []
+        for placed in group:
+            data = yield from self.array.read_chunk(self.extent, placed)
+            pieces.append(data)
+            self._occupancy[iteration] -= data.n_blocks
+            yield self._free.put(data.n_blocks)
+            self._record()
+        return DataChunk.concat(pieces)
+
+    def finish_iteration(self, iteration: int) -> None:
+        """Drop bookkeeping for a fully consumed iteration."""
+        leftover = self._pending.pop(iteration, {})
+        if leftover:
+            raise RuntimeError(
+                f"iteration {iteration} finished with unconsumed tags: "
+                f"{sorted(map(repr, leftover))}"
+            )
+        residual = self._occupancy.pop(iteration, 0.0)
+        if residual > 1e-6:
+            raise RuntimeError(
+                f"iteration {iteration} finished holding {residual:.3f} blocks"
+            )
+        self._done.pop(iteration, None)
+
+    def close(self) -> None:
+        """Release the underlying disk extent (buffer must be empty)."""
+        if self.level_blocks > 1e-6:
+            raise RuntimeError(
+                f"closing {self.name} with {self.level_blocks:.3f} blocks buffered"
+            )
+        self.array.free(self.extent)

@@ -1,0 +1,323 @@
+"""Base class and shared machinery for tertiary join methods."""
+
+from __future__ import annotations
+
+import abc
+import math
+import typing
+
+import numpy as np
+
+from repro.core.environment import JoinEnvironment
+from repro.relational.hashing import bucket_ids, partition_keys
+from repro.core.requirements import (
+    GH_BUCKET_FRACTION,
+    GH_BUCKET_TARGET_FRACTION,
+    GH_PROBE_FRACTION,
+    GH_READ_STAGING_FRACTION,
+    GH_WRITE_STAGING_FRACTION,
+    ResourceRequirements,
+)
+from repro.core.spec import InfeasibleJoinError, JoinSpec, JoinStats
+from repro.storage.block import DataChunk
+from repro.storage.tape import TapeDrive, TapeFile
+
+
+class TertiaryJoinMethod(abc.ABC):
+    """One of the paper's seven join methods, runnable against a spec."""
+
+    #: Short identifier used in the paper's tables/figures (e.g. "CDT-GH").
+    symbol: str = ""
+    #: Full descriptive name.
+    name: str = ""
+    #: True for methods exploiting parallel tape/disk I/O.
+    concurrent: bool = False
+    #: "nested-block" or "grace-hash".
+    family: str = ""
+
+    @abc.abstractmethod
+    def requirements(self, spec: JoinSpec) -> ResourceRequirements:
+        """Minimum resources this method needs for ``spec`` (Table 2 row)."""
+
+    @abc.abstractmethod
+    def _execute(self, env: JoinEnvironment) -> typing.Generator:
+        """The method's main simulation process."""
+
+    def validate(self, spec: JoinSpec) -> None:
+        """Raise :class:`InfeasibleJoinError` if the spec cannot support us."""
+        req = self.requirements(spec)
+        if not req.fits(
+            spec.memory_blocks,
+            spec.disk_blocks,
+            spec.effective_scratch_r(),
+            spec.effective_scratch_s(),
+        ):
+            raise InfeasibleJoinError(
+                f"{self.symbol} needs M>={req.memory_blocks:.1f}, "
+                f"D>={req.disk_blocks:.1f}, T_R>={req.tape_scratch_r_blocks:.1f}, "
+                f"T_S>={req.tape_scratch_s_blocks:.1f} blocks; got "
+                f"M={spec.memory_blocks:.1f}, D={spec.disk_blocks:.1f}, "
+                f"T_R={spec.effective_scratch_r():.1f}, "
+                f"T_S={spec.effective_scratch_s():.1f}"
+            )
+
+    def run(self, spec: JoinSpec) -> JoinStats:
+        """Validate, build an environment, simulate to completion."""
+        self.validate(spec)
+        env = JoinEnvironment(spec)
+        main = env.sim.process(self._execute(env), name=self.symbol)
+        env.sim.run(main)
+        env.sim.run()  # drain any same-time stragglers
+        return env.finalize(self.name, self.symbol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.symbol}>"
+
+
+def scan_tape(
+    env: JoinEnvironment,
+    drive: TapeDrive,
+    file: TapeFile,
+    start_block: float,
+    n_blocks: float,
+    chunk_blocks: float,
+    consume: typing.Callable[[DataChunk], typing.Generator],
+    overlap: bool,
+    reverse: bool = False,
+) -> typing.Generator:
+    """Scan ``n_blocks`` of a tape file in chunks, feeding each to ``consume``.
+
+    With ``overlap=True`` the next chunk's tape read is issued before
+    ``consume`` runs on the current chunk, so disk-side work overlaps tape
+    I/O (the paper's double-buffering).  The caller must have reserved
+    memory for two in-flight chunks; with ``overlap=False`` the scan is
+    strictly sequential (one chunk of memory).
+
+    ``reverse=True`` visits the chunks back to front — on a drive with
+    READ REVERSE an alternating-direction rescan then needs no
+    repositioning (footnote 2 of the paper; the join algorithms are
+    independent of the order in which tuples are scanned).
+    """
+    if chunk_blocks <= 0:
+        raise ValueError(f"chunk_blocks must be positive, got {chunk_blocks}")
+    if n_blocks <= 0:
+        return
+    bounds: list[tuple[float, float]] = []
+    offset = 0.0
+    while offset < n_blocks - 1e-9:
+        step = min(chunk_blocks, n_blocks - offset)
+        bounds.append((start_block + offset, step))
+        offset += step
+    if reverse:
+        bounds.reverse()
+    if not overlap:
+        for chunk_start, step in bounds:
+            data = yield from drive.read_range(file, chunk_start, step)
+            yield from consume(data)
+        return
+    pending = env.sim.process(
+        drive.read_range(file, bounds[0][0], bounds[0][1]), name="tape-prefetch"
+    )
+    for index in range(len(bounds)):
+        data = yield pending
+        if index + 1 < len(bounds):
+            chunk_start, step = bounds[index + 1]
+            pending = env.sim.process(
+                drive.read_range(file, chunk_start, step), name="tape-prefetch"
+            )
+        yield from consume(data)
+
+
+#: Minimum disk request size used by streaming scans; the paper's model
+#: assumes requests of at least 30 blocks (and footnote 1 notes that disk
+#: caching covers smaller logical reads), so scans through a smaller memory
+#: buffer are still issued as 30-block physical requests.
+MIN_DISK_REQUEST_BLOCKS = 30.0
+
+
+def align_blocks_to_tuples(blocks: float, tuples_per_block: int) -> float:
+    """Largest tuple-aligned block count not exceeding ``blocks``.
+
+    Iteration targets must be tuple-aligned: hashed data is re-packed as
+    ``keys / tuples_per_block`` blocks, so a boundary cutting through a
+    tuple would let an iteration's bucket data overshoot its buffer by a
+    fraction of a block.
+    """
+    aligned = math.floor(blocks * tuples_per_block + 1e-9) / tuples_per_block
+    return max(aligned, 1.0 / tuples_per_block)
+
+
+def partition_chunk(keys: np.ndarray, n_buckets: int) -> dict[int, np.ndarray]:
+    """Partition a chunk's keys into a bucket → keys mapping."""
+    parts = partition_keys(keys, n_buckets)
+    return {bucket: part for bucket, part in enumerate(parts) if len(part)}
+
+
+def scan_disk_and_join(
+    env: JoinEnvironment,
+    extent,
+    buffer_blocks: float,
+    probe_keys: np.ndarray,
+) -> typing.Generator:
+    """Stream a disk-resident relation copy past in-memory probe keys.
+
+    Reads the extent sequentially through a ``buffer_blocks`` window
+    (issued as at least :data:`MIN_DISK_REQUEST_BLOCKS`-block requests) and
+    folds each piece's mini-join into the environment's accumulator.
+    """
+    from repro.relational.join_core import hash_join
+
+    piece = max(buffer_blocks, MIN_DISK_REQUEST_BLOCKS)
+    offset = 0.0
+    total = extent.n_blocks
+    while offset < total - 1e-9:
+        step = min(piece, total - offset)
+        data = yield from env.array.read_range(extent, offset, step)
+        env.accumulator.add(hash_join(data.keys, probe_keys))
+        offset += step
+    env.count_r_scan()
+
+
+def join_buffered_bucket(
+    env: JoinEnvironment,
+    layout: "GraceHashLayout",
+    sbuf,
+    iteration: int,
+    tag: object,
+    read_r_range: typing.Callable[[float, float], typing.Generator],
+    r_total_blocks: float,
+) -> typing.Generator:
+    """Join one R bucket with its S bucket in the interleaved buffer.
+
+    The normal path holds the whole R bucket in memory and streams the S
+    bucket past it, releasing buffer space chunk by chunk.  If the R
+    bucket outgrows the free memory (skewed keys — the paper assumes
+    uniform hash values and has no such path), the *spill* path processes
+    the R bucket in memory-sized pieces, re-reading the S bucket once per
+    piece and releasing its space only at the end.  Returns True when the
+    spill path ran.
+    """
+    from repro.relational.join_core import hash_join
+
+    probe = layout.probe_blocks
+    available = env.memory.free_blocks - probe
+    if r_total_blocks <= available + 1e-9:
+        r_data = yield from read_r_range(0.0, r_total_blocks)
+        env.memory.take(r_data.n_blocks, "R bucket")
+        while True:
+            piece = yield from sbuf.pop_coalesced(iteration, tag, probe)
+            if piece is None:
+                break
+            env.accumulator.add(hash_join(r_data.keys, piece.keys))
+        env.memory.give(r_data.n_blocks)
+        return False
+
+    env.count_overflow_bucket()
+    piece_blocks = max(available, probe, 1.0)
+    offset = 0.0
+    while offset < r_total_blocks - 1e-9:
+        step = min(piece_blocks, r_total_blocks - offset)
+        r_piece = yield from read_r_range(offset, step)
+        env.memory.take(r_piece.n_blocks, "R bucket piece")
+        cursor = 0
+        while True:
+            piece, cursor = yield from sbuf.peek_coalesced(iteration, tag, cursor, probe)
+            if piece is None:
+                break
+            env.accumulator.add(hash_join(r_piece.keys, piece.keys))
+        env.memory.give(r_piece.n_blocks)
+        offset += step
+    sbuf.discard(iteration, tag)
+    return True
+
+
+class GraceHashLayout:
+    """Bucket count and memory split shared by all Grace-Hash methods.
+
+    ``n_buckets`` is chosen so one R bucket fits in the
+    :data:`GH_BUCKET_FRACTION` share of M (the paper's B = |R|/M with the
+    staging buffers "included in M"); the remaining memory is split between
+    tape-read staging and per-bucket write staging.
+    """
+
+    def __init__(self, spec: JoinSpec):
+        memory = spec.memory_blocks
+        self.bucket_memory_blocks = GH_BUCKET_FRACTION * memory
+        self.n_buckets = max(
+            1, math.ceil(spec.size_r_blocks / (GH_BUCKET_TARGET_FRACTION * memory))
+        )
+        self.read_staging_blocks = GH_READ_STAGING_FRACTION * memory
+        self.write_staging_blocks = GH_WRITE_STAGING_FRACTION * memory
+        self.probe_blocks = GH_PROBE_FRACTION * memory
+        self.flush_blocks = self.write_staging_blocks / self.n_buckets
+        #: chunk size for overlapped tape scans (two chunks in flight).
+        self.scan_chunk_blocks = self.read_staging_blocks / 2
+
+    def bucket_of_r_blocks(self, spec: JoinSpec) -> float:
+        """Expected size of one R hash bucket in blocks."""
+        return spec.size_r_blocks / self.n_buckets
+
+
+class BucketStager:
+    """Per-bucket in-memory staging for hash partitioning.
+
+    Partitioned keys accumulate per bucket inside the method's write
+    staging share of M.  When the share fills, every non-empty bucket is
+    flushed together through ``flush_burst`` (a generator taking a list of
+    ``(bucket, chunk)`` pairs) — "the buffer allows for larger disk writes
+    which help reduce the seek penalty" (Section 6).  Smaller M means a
+    smaller staging share, smaller fragments and more random I/O, which is
+    exactly the small-memory degradation of Figures 8–9.
+    """
+
+    def __init__(
+        self,
+        layout: GraceHashLayout,
+        tuples_per_block: int,
+        flush_burst: typing.Callable[[list[tuple[int, DataChunk]]], typing.Generator],
+        buckets: typing.Iterable[int] | None = None,
+        threshold_blocks: float | None = None,
+    ):
+        self.layout = layout
+        self.tuples_per_block = tuples_per_block
+        self.flush_burst = flush_burst
+        self.wanted = None if buckets is None else np.asarray(sorted(set(buckets)))
+        self._staged: list[np.ndarray] = []
+        self._total_tuples = 0
+        if threshold_blocks is None:
+            threshold_blocks = layout.write_staging_blocks
+        self._threshold_tuples = max(1, round(threshold_blocks * tuples_per_block))
+
+    def add_keys(self, keys: np.ndarray) -> typing.Generator:
+        """Stage raw keys; partition and flush once staging fills.
+
+        With a ``buckets`` filter, keys routed to other buckets are
+        discarded immediately (the hash-to-tape scans keep only the
+        current group's buckets) and do not count against staging.
+        """
+        if self.wanted is not None:
+            ids = bucket_ids(keys, self.layout.n_buckets)
+            keys = keys[np.isin(ids, self.wanted)]
+        if len(keys) == 0:
+            return
+        self._staged.append(keys)
+        self._total_tuples += len(keys)
+        if self._total_tuples >= self._threshold_tuples:
+            yield from self._flush_all()
+
+    def drain(self) -> typing.Generator:
+        """Flush whatever remains staged."""
+        if self._total_tuples > 0:
+            yield from self._flush_all()
+
+    def _flush_all(self) -> typing.Generator:
+        pool = self._staged[0] if len(self._staged) == 1 else np.concatenate(self._staged)
+        self._staged = []
+        self._total_tuples = 0
+        parts = partition_keys(pool, self.layout.n_buckets)
+        pairs = [
+            (bucket, DataChunk.from_keys(keys, self.tuples_per_block))
+            for bucket, keys in enumerate(parts)
+            if len(keys)
+        ]
+        yield from self.flush_burst(pairs)

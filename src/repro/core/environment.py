@@ -1,0 +1,134 @@
+"""Runtime environment for one simulated tertiary join.
+
+Builds the simulator and storage hierarchy for a :class:`JoinSpec`, places
+the relations on their tape volumes (pre-loaded into the drives, as the
+paper assumes), and collects the statistics that become a
+:class:`JoinStats` when the join finishes.
+"""
+
+from __future__ import annotations
+
+from repro.buffering.memory import MemoryManager
+from repro.core.spec import JoinSpec, JoinStats
+from repro.relational.join_core import JoinAccumulator
+from repro.simulator.engine import Simulator
+from repro.simulator.trace import TraceCollector
+from repro.storage.hierarchy import StorageConfig, StorageSystem
+from repro.storage.tape import TapeVolume
+
+
+class JoinEnvironment:
+    """Simulator, devices, relation placement and counters for one join."""
+
+    def __init__(self, spec: JoinSpec):
+        self.spec = spec
+        self.sim = Simulator()
+        self.trace = TraceCollector() if spec.trace_buffers else None
+        # Iteration boundaries are tuple-aligned, but rounding at chunk
+        # boundaries can shift a tuple between adjacent iterations; a
+        # two-tuple slack on D absorbs that without materially relaxing
+        # the budget.
+        slack = 2.0 / min(
+            spec.relation_r.tuples_per_block, spec.relation_s.tuples_per_block
+        )
+        config = StorageConfig(
+            spec=spec.block_spec,
+            n_disks=spec.n_disks,
+            disk_capacity_blocks=spec.disk_blocks + slack + 1e-6,
+            disk_params=spec.effective_disk_params(),
+            tape_params_r=spec.tape_params_r,
+            tape_params_s=spec.tape_params_s,
+            n_buses=spec.n_buses,
+            bus_bandwidth_mb_s=spec.bus_bandwidth_mb_s,
+            stripe_threshold_blocks=spec.stripe_threshold_blocks,
+        )
+        self.storage = StorageSystem(self.sim, config)
+        self.memory = MemoryManager(spec.memory_blocks)
+        self.accumulator = JoinAccumulator()
+
+        vol_r = TapeVolume("vol_r", spec.size_r_blocks + spec.effective_scratch_r())
+        self.file_r = vol_r.create_file("R")
+        self.file_r._append(spec.relation_r.as_chunk())
+        vol_s = TapeVolume("vol_s", spec.size_s_blocks + spec.effective_scratch_s())
+        self.file_s = vol_s.create_file("S")
+        self.file_s._append(spec.relation_s.as_chunk())
+        self.storage.library.add_volume(vol_r)
+        self.storage.library.add_volume(vol_s)
+        self.storage.library.preload(self.drive_r, "vol_r")
+        self.storage.library.preload(self.drive_s, "vol_s")
+        self._data_end_r = vol_r.end_block
+        self._data_end_s = vol_s.end_block
+
+        self.step1_end_s = 0.0
+        self.iterations = 0
+        self.r_scans = 0.0
+        self.overflow_buckets = 0
+
+    # -- convenient device handles ------------------------------------------------
+
+    @property
+    def drive_r(self):
+        """The tape drive holding relation R's volume."""
+        return self.storage.drive_r
+
+    @property
+    def drive_s(self):
+        """The tape drive holding relation S's volume."""
+        return self.storage.drive_s
+
+    @property
+    def array(self):
+        """The disk array (D blocks total)."""
+        return self.storage.array
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    def mark_step1_done(self) -> None:
+        """Record the end of the method's setup phase (Step I)."""
+        self.step1_end_s = self.sim.now
+
+    def count_iteration(self) -> int:
+        """Record one Step II iteration; returns its index."""
+        index = self.iterations
+        self.iterations += 1
+        return index
+
+    def count_r_scan(self, fraction: float = 1.0) -> None:
+        """Record (a fraction of) one full pass over relation R."""
+        self.r_scans += fraction
+
+    def count_overflow_bucket(self) -> None:
+        """Record one hash bucket processed via the spill (overflow) path."""
+        self.overflow_buckets += 1
+
+    def finalize(self, method_name: str, method_symbol: str) -> JoinStats:
+        """Snapshot all counters into a :class:`JoinStats`."""
+        spec = self.spec
+        drive_r, drive_s = self.drive_r, self.drive_s
+        vol_r, vol_s = drive_r.volume, drive_s.volume
+        response = self.sim.now
+        return JoinStats(
+            method=method_name,
+            symbol=method_symbol,
+            response_s=response,
+            step1_s=self.step1_end_s,
+            step2_s=response - self.step1_end_s,
+            iterations=self.iterations,
+            r_scans=self.r_scans,
+            overflow_buckets=self.overflow_buckets,
+            disk_read_blocks=self.array.read_blocks,
+            disk_write_blocks=self.array.write_blocks,
+            tape_r_read_blocks=drive_r.read_blocks,
+            tape_r_write_blocks=drive_r.write_blocks,
+            tape_s_read_blocks=drive_s.read_blocks,
+            tape_s_write_blocks=drive_s.write_blocks,
+            tape_repositions=drive_r.repositions + drive_s.repositions,
+            output=self.accumulator.result(),
+            peak_memory_blocks=self.memory.peak_used_blocks,
+            peak_disk_blocks=self.array.peak_used_blocks,
+            scratch_used_r_blocks=vol_r.written_after(self._data_end_r),
+            scratch_used_s_blocks=vol_s.written_after(self._data_end_s),
+            optimum_join_s=spec.optimum_join_s,
+            bare_read_s=spec.bare_read_s,
+            traces=self.trace,
+        )

@@ -1,0 +1,274 @@
+"""Nested Block Join methods for tertiary storage (Sections 5.1.1, 5.1.3).
+
+All three variants copy R from tape to disk in Step I, then iterate over S
+in memory-sized chunks, scanning the disk-resident R once per chunk:
+
+* :class:`DiskTapeNestedBlock` (DT-NB) — strictly sequential.
+* :class:`ConcurrentNestedBlockMemory` (CDT-NB/MB) — two half-size memory
+  buffers; the next S chunk is fetched from tape while the previous one is
+  joined with R.
+* :class:`ConcurrentNestedBlockDisk` (CDT-NB/DB) — a full-size chunk held
+  in memory, refilled through an interleaved double-buffered disk region,
+  trading disk space and disk traffic for larger chunks.
+
+Memory split follows Section 6: 10 % of M buffers the R scan, 90 % buffers
+S.  The small tape→disk speed-matching buffer of CDT-NB/DB is "very small
+compared to M and its effect is ignored in the analysis" (Section 6); we
+likewise keep it outside the M ledger.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.buffering.interleaved import InterleavedDiskBuffer
+from repro.core.base import (
+    TertiaryJoinMethod,
+    align_blocks_to_tuples,
+    scan_disk_and_join,
+    scan_tape,
+)
+from repro.core.environment import JoinEnvironment
+from repro.core.requirements import NB_R_SCAN_FRACTION, ResourceRequirements
+from repro.core.spec import InfeasibleJoinError, JoinSpec, ceil_div
+from repro.simulator.resources import Store
+
+
+class _NestedBlockBase(TertiaryJoinMethod):
+    """Shared Step I (copy R to disk) and memory layout."""
+
+    family = "nested-block"
+
+    def _r_scan_blocks(self, spec: JoinSpec) -> float:
+        return NB_R_SCAN_FRACTION * spec.memory_blocks
+
+    def _s_buffer_blocks(self, spec: JoinSpec) -> float:
+        """Total memory available for buffering S (M minus the R window)."""
+        return spec.memory_blocks - self._r_scan_blocks(spec)
+
+    def _chunk_blocks(self, spec: JoinSpec) -> float:
+        """|S_i|: the piece of S consumed per iteration."""
+        raise NotImplementedError
+
+    def validate(self, spec: JoinSpec) -> None:
+        super().validate(spec)
+        if self._chunk_blocks(spec) <= 0:
+            raise InfeasibleJoinError(
+                f"{self.symbol}: memory of {spec.memory_blocks} blocks leaves "
+                "no room to buffer S"
+            )
+
+    def _copy_r_to_disk(self, env: JoinEnvironment, overlap: bool) -> typing.Generator:
+        """Step I: copy relation R from tape to a disk extent."""
+        spec = env.spec
+        r_disk = env.array.allocate("R_copy")
+        staging = self._s_buffer_blocks(spec)
+        chunk = staging / 2 if overlap else staging
+
+        def store(data):
+            yield from env.array.write(r_disk, data)
+
+        with env.memory.hold(staging, "step I staging"):
+            yield from scan_tape(
+                env, env.drive_r, env.file_r, 0.0, spec.size_r_blocks,
+                chunk, store, overlap,
+            )
+        env.count_r_scan()
+        env.mark_step1_done()
+        return r_disk
+
+
+class DiskTapeNestedBlock(_NestedBlockBase):
+    """DT-NB: sequential Disk–Tape Nested Block Join (Section 5.1.1)."""
+
+    symbol = "DT-NB"
+    name = "Disk-Tape Nested Block Join"
+    concurrent = False
+
+    def _chunk_blocks(self, spec: JoinSpec) -> float:
+        return self._s_buffer_blocks(spec)
+
+    def requirements(self, spec: JoinSpec) -> ResourceRequirements:
+        """Table 2 row: M = |S_i| (any memory works), D = |R|."""
+        return ResourceRequirements(
+            memory_blocks=1.0,
+            disk_blocks=spec.size_r_blocks,
+            tape_scratch_r_blocks=0.0,
+            tape_scratch_s_blocks=0.0,
+        )
+
+    def _execute(self, env: JoinEnvironment) -> typing.Generator:
+        spec = env.spec
+        r_disk = yield from self._copy_r_to_disk(env, overlap=False)
+        chunk = self._chunk_blocks(spec)
+        r_window = self._r_scan_blocks(spec)
+        offset = 0.0
+        total = spec.size_s_blocks
+        with env.memory.hold(spec.memory_blocks, "S chunk + R window"):
+            while offset < total - 1e-9:
+                step = min(chunk, total - offset)
+                s_data = yield from env.drive_s.read_range(env.file_s, offset, step)
+                offset += step
+                yield from scan_disk_and_join(env, r_disk, r_window, s_data.keys)
+                env.count_iteration()
+        env.array.free(r_disk)
+
+
+class ConcurrentNestedBlockMemory(_NestedBlockBase):
+    """CDT-NB/MB: memory double-buffering (Section 5.1.3).
+
+    Memory is split into one R window and two S buffers; a prefetch
+    process fills one buffer from tape while the join process drains the
+    other against R.  Interleaved buffering cannot apply here because each
+    chunk is needed in memory for the whole iteration, hence the halved
+    chunk size — and twice the iterations of DT-NB.
+    """
+
+    symbol = "CDT-NB/MB"
+    name = "Concurrent Disk-Tape Nested Block Join with Memory Buffering"
+    concurrent = True
+
+    def _chunk_blocks(self, spec: JoinSpec) -> float:
+        return self._s_buffer_blocks(spec) / 2
+
+    def requirements(self, spec: JoinSpec) -> ResourceRequirements:
+        """Table 2 row: M = 2|S_i| (two buffers), D = |R|."""
+        return ResourceRequirements(
+            memory_blocks=2.0,
+            disk_blocks=spec.size_r_blocks,
+            tape_scratch_r_blocks=0.0,
+            tape_scratch_s_blocks=0.0,
+        )
+
+    def _execute(self, env: JoinEnvironment) -> typing.Generator:
+        spec = env.spec
+        r_disk = yield from self._copy_r_to_disk(env, overlap=True)
+        chunk = self._chunk_blocks(spec)
+        r_window = self._r_scan_blocks(spec)
+        sim = env.sim
+        filled = Store(sim)
+        free_slots = Store(sim)
+        for _slot in range(2):
+            free_slots.put(None)
+
+        def prefetcher():
+            offset = 0.0
+            total = spec.size_s_blocks
+            while offset < total - 1e-9:
+                step = min(chunk, total - offset)
+                yield free_slots.get()
+                env.memory.take(step, "S buffer slot")
+                data = yield from env.drive_s.read_range(env.file_s, offset, step)
+                offset += step
+                yield filled.put(data)
+            yield filled.put(None)
+
+        def joiner():
+            with env.memory.hold(r_window, "R window"):
+                while True:
+                    data = yield filled.get()
+                    if data is None:
+                        return
+                    yield from scan_disk_and_join(env, r_disk, r_window, data.keys)
+                    env.count_iteration()
+                    env.memory.give(data.n_blocks)
+                    yield free_slots.put(None)
+
+        done = sim.all_of(
+            [sim.process(prefetcher(), name="prefetch"), sim.process(joiner(), name="join")]
+        )
+        yield done
+        env.array.free(r_disk)
+
+
+class ConcurrentNestedBlockDisk(_NestedBlockBase):
+    """CDT-NB/DB: interleaved disk double-buffering (Section 5.1.3).
+
+    S chunks are staged from tape into an interleaved double-buffered disk
+    region of |S_i| blocks while the previous chunk — read from that
+    region into memory — is joined with R.  The chunk is twice CDT-NB/MB's
+    for the same M, at the price of |S_i| extra disk space and of routing
+    all of S through the disks.
+    """
+
+    symbol = "CDT-NB/DB"
+    name = "Concurrent Disk-Tape Nested Block Join with Disk Buffering"
+    concurrent = True
+
+    #: Speed-matching buffer (blocks) between tape and the disk region;
+    #: outside the M ledger, as in the paper's analysis.
+    SPEED_MATCH_BLOCKS = 4.0
+
+    def _chunk_blocks(self, spec: JoinSpec) -> float:
+        return self._s_buffer_blocks(spec)
+
+    def requirements(self, spec: JoinSpec) -> ResourceRequirements:
+        """Table 2 row: M = |S_i|, D = |R| + |S_i| (the disk buffer)."""
+        return ResourceRequirements(
+            memory_blocks=1.0,
+            disk_blocks=spec.size_r_blocks + self._chunk_blocks(spec),
+            tape_scratch_r_blocks=0.0,
+            tape_scratch_s_blocks=0.0,
+        )
+
+    def _execute(self, env: JoinEnvironment) -> typing.Generator:
+        spec = env.spec
+        r_disk = yield from self._copy_r_to_disk(env, overlap=True)
+        chunk = align_blocks_to_tuples(
+            self._chunk_blocks(spec), spec.relation_s.tuples_per_block
+        )
+        r_window = self._r_scan_blocks(spec)
+        sim = env.sim
+        slack = 2.0 / spec.relation_s.tuples_per_block
+        sbuf = InterleavedDiskBuffer(
+            sim, env.array, "s_buffer", chunk + slack + 1e-6, env.trace
+        )
+        n_iters = ceil_div(spec.size_s_blocks, chunk)
+        stage = min(self.SPEED_MATCH_BLOCKS, chunk)
+
+        def writer():
+            offset = 0.0
+            total = spec.size_s_blocks
+            for iteration in range(n_iters):
+                target = min(chunk, total - offset)
+                filled = 0.0
+                while filled < target - 1e-9:
+                    step = min(stage, target - filled)
+                    data = yield from env.drive_s.read_range(
+                        env.file_s, offset + filled, step
+                    )
+                    filled += step
+                    yield from sbuf.put(iteration, "s", data)
+                offset += target
+                sbuf.end_iteration(iteration)
+
+        def joiner():
+            with env.memory.hold(r_window, "R window"):
+                for iteration in range(n_iters):
+                    yield sbuf.wait_iteration(iteration)
+                    pieces = []
+                    taken = 0.0
+                    while True:
+                        data = yield from sbuf.pop_chunk(iteration, "s")
+                        if data is None:
+                            break
+                        pieces.append(data)
+                        taken += data.n_blocks
+                    env.memory.take(taken, "S chunk")
+                    keys = (
+                        pieces[0].keys
+                        if len(pieces) == 1
+                        else np.concatenate([p.keys for p in pieces])
+                    )
+                    yield from scan_disk_and_join(env, r_disk, r_window, keys)
+                    env.count_iteration()
+                    env.memory.give(taken)
+                    sbuf.finish_iteration(iteration)
+
+        yield sim.all_of(
+            [sim.process(writer(), name="fill"), sim.process(joiner(), name="join")]
+        )
+        sbuf.close()
+        env.array.free(r_disk)

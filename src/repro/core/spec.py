@@ -1,0 +1,250 @@
+"""Join specification and result statistics.
+
+A :class:`JoinSpec` bundles everything Section 3's system model
+parameterizes: the two tape relations, the memory budget ``M``, the disk
+budget ``D``, the device speeds and the scratch tape allowances.  A
+:class:`JoinStats` is what one simulated join returns: the response time
+and its phase breakdown, the traffic counters behind Figures 6–7, and the
+verified join output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.relational.join_core import JoinResult
+from repro.relational.relation import Relation
+from repro.simulator.trace import TraceCollector
+from repro.storage.block import BlockSpec
+from repro.storage.disk import DiskParameters
+from repro.storage.tape import TapeDriveParameters
+
+
+class InfeasibleJoinError(RuntimeError):
+    """Raised when a join method cannot run within the given resources."""
+
+
+@dataclasses.dataclass
+class JoinSpec:
+    """Inputs and resource budgets for one tertiary join.
+
+    Notation follows Table 1 of the paper: ``memory_blocks`` is M,
+    ``disk_blocks`` is D (total over ``n_disks``), and the scratch
+    allowances are T_R and T_S.  ``None`` scratch means "ample" (sized to
+    |S|, enough for every method); pass explicit values to verify the
+    scratch column of Table 2.
+    """
+
+    relation_r: Relation
+    relation_s: Relation
+    memory_blocks: float
+    disk_blocks: float
+    n_disks: int = 2
+    scratch_r_blocks: float | None = None
+    scratch_s_blocks: float | None = None
+    disk_params: DiskParameters = dataclasses.field(default_factory=DiskParameters)
+    tape_params_r: TapeDriveParameters = dataclasses.field(default_factory=TapeDriveParameters)
+    tape_params_s: TapeDriveParameters = dataclasses.field(default_factory=TapeDriveParameters)
+    n_buses: int = 2
+    bus_bandwidth_mb_s: float = 10.0
+    stripe_threshold_blocks: float = 8.0
+    trace_buffers: bool = False
+    #: Fraction of aggregate disk bandwidth consumed by writing the join
+    #: output locally.  Section 3.2: "if the join output is to be stored
+    #: locally, the effect of writing the output has been taken into
+    #: account in X_D" — i.e. X_D is derated; 0.0 models the default
+    #: pipelined output that costs nothing.
+    output_disk_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.relation_r.spec != self.relation_s.spec:
+            raise ValueError("R and S must share a block geometry")
+        if self.relation_r.n_blocks > self.relation_s.n_blocks + 1e-9:
+            raise ValueError(
+                "the paper defines R as the smaller relation: "
+                f"|R|={self.relation_r.n_blocks:.1f} > |S|={self.relation_s.n_blocks:.1f}"
+            )
+        if self.memory_blocks <= 0:
+            raise ValueError("memory budget M must be positive")
+        if self.memory_blocks > self.relation_r.n_blocks + 1e-9:
+            raise ValueError(
+                "the system model assumes M < |R| "
+                f"(M={self.memory_blocks}, |R|={self.relation_r.n_blocks:.1f})"
+            )
+        if self.disk_blocks <= 0:
+            raise ValueError("disk budget D must be positive")
+        if self.n_disks < 1:
+            raise ValueError("need at least one disk")
+        if not 0.0 <= self.output_disk_fraction < 1.0:
+            raise ValueError(
+                "output_disk_fraction must be in [0, 1), got "
+                f"{self.output_disk_fraction}"
+            )
+
+    # -- model quantities (Table 1) ------------------------------------------
+
+    @property
+    def block_spec(self) -> BlockSpec:
+        """Block geometry shared by both relations."""
+        return self.relation_r.spec
+
+    @property
+    def size_r_blocks(self) -> float:
+        """|R| in blocks."""
+        return self.relation_r.n_blocks
+
+    @property
+    def size_s_blocks(self) -> float:
+        """|S| in blocks."""
+        return self.relation_s.n_blocks
+
+    @property
+    def tape_rate_r_blocks_s(self) -> float:
+        """Effective X_T of the R drive in blocks/second."""
+        return self.tape_params_r.rate_bytes_s / self.block_spec.block_bytes
+
+    @property
+    def tape_rate_s_blocks_s(self) -> float:
+        """Effective X_T of the S drive in blocks/second."""
+        return self.tape_params_s.rate_bytes_s / self.block_spec.block_bytes
+
+    def effective_disk_params(self) -> "DiskParameters":
+        """Disk parameters after reserving bandwidth for local output."""
+        if self.output_disk_fraction == 0.0:
+            return self.disk_params
+        # dataclasses.replace keeps every latency parameter intact.
+        return dataclasses.replace(
+            self.disk_params,
+            transfer_rate_mb_s=self.disk_params.transfer_rate_mb_s
+            * (1.0 - self.output_disk_fraction),
+        )
+
+    @property
+    def disk_rate_blocks_s(self) -> float:
+        """Aggregate X_D in blocks/second (net of local-output writes)."""
+        return (
+            self.n_disks
+            * self.effective_disk_params().rate_bytes_s
+            / self.block_spec.block_bytes
+        )
+
+    @property
+    def optimum_join_s(self) -> float:
+        """Bare transfer time of S from tape — the paper's optimum join time."""
+        return self.size_s_blocks / self.tape_rate_s_blocks_s
+
+    @property
+    def bare_read_s(self) -> float:
+        """Time to read S and R once from their tapes, back to back."""
+        return self.optimum_join_s + self.size_r_blocks / self.tape_rate_r_blocks_s
+
+    def effective_scratch_r(self) -> float:
+        """T_R: scratch blocks available on the R volume."""
+        if self.scratch_r_blocks is None:
+            return self.size_s_blocks + 1.0
+        return self.scratch_r_blocks
+
+    def effective_scratch_s(self) -> float:
+        """T_S: scratch blocks available on the S volume."""
+        if self.scratch_s_blocks is None:
+            return self.size_s_blocks + 1.0
+        return self.scratch_s_blocks
+
+
+@dataclasses.dataclass
+class JoinStats:
+    """Everything one simulated join reports."""
+
+    method: str
+    symbol: str
+    response_s: float
+    step1_s: float
+    step2_s: float
+    iterations: int
+    r_scans: float
+    #: Buckets joined through the spill path (R bucket larger than its
+    #: memory share — skewed keys; 0 under the paper's uniform data).
+    overflow_buckets: int
+    disk_read_blocks: float
+    disk_write_blocks: float
+    tape_r_read_blocks: float
+    tape_r_write_blocks: float
+    tape_s_read_blocks: float
+    tape_s_write_blocks: float
+    tape_repositions: int
+    output: JoinResult
+    peak_memory_blocks: float
+    peak_disk_blocks: float
+    scratch_used_r_blocks: float
+    scratch_used_s_blocks: float
+    optimum_join_s: float
+    bare_read_s: float
+    traces: TraceCollector | None = None
+
+    @property
+    def disk_traffic_blocks(self) -> float:
+        """Total disk blocks moved (the y-axis of Figure 7)."""
+        return self.disk_read_blocks + self.disk_write_blocks
+
+    @property
+    def tape_traffic_blocks(self) -> float:
+        """Total tape blocks moved on both drives."""
+        return (
+            self.tape_r_read_blocks
+            + self.tape_r_write_blocks
+            + self.tape_s_read_blocks
+            + self.tape_s_write_blocks
+        )
+
+    @property
+    def relative_cost(self) -> float:
+        """Response time over bare read time of S and R (Table 3 metric)."""
+        return self.response_s / self.bare_read_s
+
+    @property
+    def join_overhead(self) -> float:
+        """Relative overhead versus the optimum join time (Figure 9 metric).
+
+        0.30 means the join took 30 % longer than just reading S from tape.
+        """
+        return self.response_s / self.optimum_join_s - 1.0
+
+    def disk_traffic_mb(self, spec: BlockSpec) -> float:
+        """Disk traffic in MB, as Figure 7 plots it."""
+        return spec.mb_from_blocks(self.disk_traffic_blocks)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (traces omitted)."""
+        return {
+            "method": self.method,
+            "symbol": self.symbol,
+            "response_s": self.response_s,
+            "step1_s": self.step1_s,
+            "step2_s": self.step2_s,
+            "iterations": self.iterations,
+            "r_scans": self.r_scans,
+            "overflow_buckets": self.overflow_buckets,
+            "disk_read_blocks": self.disk_read_blocks,
+            "disk_write_blocks": self.disk_write_blocks,
+            "tape_r_read_blocks": self.tape_r_read_blocks,
+            "tape_r_write_blocks": self.tape_r_write_blocks,
+            "tape_s_read_blocks": self.tape_s_read_blocks,
+            "tape_s_write_blocks": self.tape_s_write_blocks,
+            "tape_repositions": self.tape_repositions,
+            "output_pairs": self.output.n_pairs,
+            "output_checksum": self.output.checksum,
+            "peak_memory_blocks": self.peak_memory_blocks,
+            "peak_disk_blocks": self.peak_disk_blocks,
+            "scratch_used_r_blocks": self.scratch_used_r_blocks,
+            "scratch_used_s_blocks": self.scratch_used_s_blocks,
+            "relative_cost": self.relative_cost,
+            "join_overhead": self.join_overhead,
+        }
+
+
+def ceil_div(amount: float, chunk: float) -> int:
+    """Iterations needed to consume ``amount`` in pieces of ``chunk``."""
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    return max(1, math.ceil(amount / chunk - 1e-9))

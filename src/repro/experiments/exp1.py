@@ -1,0 +1,205 @@
+"""Experiment 1: large S, large R — Table 3 and Figure 4 (Section 7).
+
+Four CTT-GH joins with |S| from 1 000 to 10 000 MB, |R| half of |S| (Join
+IV: 2 500 MB), D = |R|/5 and M = 16 MB.  The table reports the bare read
+time of both tapes, Step I (hashing R to tape), the total response time
+and the relative cost — the paper measured 7.9 → 6.8, falling as the
+setup cost amortizes over larger |S|.
+
+Figure 4 plots disk buffer utilization during Step II of Join III: with
+interleaved double-buffering, total utilization stays near 100 % while
+the even/odd iteration shares form a shark-tooth pattern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.experiments.config import EXPERIMENT1_JOINS, BASE_TAPE, Experiment1Join, ExperimentScale
+from repro.experiments.harness import run_join
+from repro.experiments.report import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Row:
+    """One measured row of Table 3 (times in simulated seconds)."""
+
+    name: str
+    s_mb: float
+    r_mb: float
+    d_mb: float
+    bare_read_s: float
+    step1_s: float
+    total_s: float
+    relative_cost: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Result:
+    """All measured rows plus the paper's reference values."""
+
+    rows: tuple[Table3Row, ...]
+    scale: float
+
+    #: The paper's measured relative costs, for side-by-side comparison.
+    PAPER_RELATIVE_COSTS: typing.ClassVar[dict[str, float]] = {
+        "Join I": 7.9,
+        "Join II": 7.3,
+        "Join III": 6.9,
+        "Join IV": 6.8,
+    }
+
+    def render(self) -> str:
+        """Paper-style rendering of Table 3."""
+        headers = [
+            "", "|S| (MB)", "|R| (MB)", "D (MB)",
+            "Read S + R", "Step I", "Steps I + II", "Rel. Cost", "Paper",
+        ]
+        rows = []
+        for row in self.rows:
+            rows.append([
+                row.name,
+                f"{row.s_mb:.0f}",
+                f"{row.r_mb:.0f}",
+                f"{row.d_mb:.0f}",
+                f"{row.bare_read_s:.0f} s",
+                f"{row.step1_s:.0f} s",
+                f"{row.total_s:.0f} s",
+                f"{row.relative_cost:.1f}",
+                f"{self.PAPER_RELATIVE_COSTS.get(row.name, float('nan')):.1f}",
+            ])
+        title = "Table 3: Concurrent Tape-Tape Grace Hash Join"
+        if self.scale != 1.0:
+            title += f" (sizes scaled by {self.scale:g})"
+        return f"{title}\n{format_table(headers, rows)}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form: measured rows plus the paper's values."""
+        return {
+            "scale": self.scale,
+            "rows": [dataclasses.asdict(row) for row in self.rows],
+            "paper_relative_costs": dict(self.PAPER_RELATIVE_COSTS),
+        }
+
+
+def _memory_blocks(scale: ExperimentScale, m_mb: float, size_r_blocks: float) -> float:
+    """Scaled memory, clamped to Grace Hash's M >= sqrt(|R|) feasibility.
+
+    Relation sizes scale linearly but the sqrt(|R|) memory floor does not,
+    so scaled-down runs keep just enough memory to stay feasible.
+    """
+    floor = 1.05 * math.sqrt(size_r_blocks)
+    return min(max(scale.blocks(m_mb), floor), max(size_r_blocks - 1.0, floor))
+
+
+def run_experiment1(
+    scale: ExperimentScale | None = None,
+    joins: typing.Sequence[Experiment1Join] = EXPERIMENT1_JOINS,
+    verify: bool = False,
+) -> Table3Result:
+    """Run the four CTT-GH joins of Table 3."""
+    scale = scale or ExperimentScale(tuple_bytes=8192)
+    rows = []
+    for join in joins:
+        r, s = scale.relations(join.r_mb, join.s_mb)
+        stats = run_join(
+            "CTT-GH",
+            r,
+            s,
+            memory_blocks=_memory_blocks(scale, join.m_mb, r.n_blocks),
+            disk_blocks=scale.blocks(join.d_mb),
+            tape=BASE_TAPE,
+            scale=scale,
+            verify=verify,
+        )
+        rows.append(
+            Table3Row(
+                name=join.name,
+                s_mb=scale.mb(join.s_mb),
+                r_mb=scale.mb(join.r_mb),
+                d_mb=scale.mb(join.d_mb),
+                bare_read_s=stats.bare_read_s,
+                step1_s=stats.step1_s,
+                total_s=stats.response_s,
+                relative_cost=stats.relative_cost,
+            )
+        )
+    return Table3Result(tuple(rows), scale.scale)
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure4Result:
+    """Disk buffer utilization during Step II of one CTT-GH join.
+
+    Utilization is in percent of the S-buffer capacity; samples cover the
+    Step II window only.
+    """
+
+    times_s: list[float]
+    total_pct: list[float]
+    even_pct: list[float]
+    odd_pct: list[float]
+    step2_window_s: tuple[float, float]
+    mean_total_pct: float
+
+    def render(self, samples: int = 20) -> str:
+        """Compact text rendering (downsampled)."""
+        stride = max(1, len(self.times_s) // samples)
+        lines = ["Figure 4: disk space utilization (Step II, interleaved buffer)"]
+        lines.append(f"{'time (s)':>10s}  {'total %':>8s}  {'even %':>8s}  {'odd %':>8s}")
+        for i in range(0, len(self.times_s), stride):
+            lines.append(
+                f"{self.times_s[i]:10.0f}  {self.total_pct[i]:8.1f}  "
+                f"{self.even_pct[i]:8.1f}  {self.odd_pct[i]:8.1f}"
+            )
+        lines.append(f"time-average total utilization: {self.mean_total_pct:.1f} %")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the utilization trace."""
+        return {
+            "times_s": list(self.times_s),
+            "total_pct": list(self.total_pct),
+            "even_pct": list(self.even_pct),
+            "odd_pct": list(self.odd_pct),
+            "step2_window_s": list(self.step2_window_s),
+            "mean_total_pct": self.mean_total_pct,
+        }
+
+
+def run_figure4(
+    scale: ExperimentScale | None = None,
+    join: Experiment1Join | None = None,
+) -> Figure4Result:
+    """Trace Join III's Step II buffer occupancy (Figure 4)."""
+    scale = scale or ExperimentScale(tuple_bytes=8192)
+    join = join or EXPERIMENT1_JOINS[2]  # Join III
+    r, s = scale.relations(join.r_mb, join.s_mb)
+    capacity = scale.blocks(join.d_mb)
+    stats = run_join(
+        "CTT-GH",
+        r,
+        s,
+        memory_blocks=_memory_blocks(scale, join.m_mb, r.n_blocks),
+        disk_blocks=capacity,
+        tape=BASE_TAPE,
+        scale=scale,
+        trace_buffers=True,
+    )
+    trace = stats.traces
+    total = trace.timeseries("s_buffer.total")
+    even = trace.timeseries("s_buffer.even")
+    odd = trace.timeseries("s_buffer.odd")
+    window = (stats.step1_s, stats.response_s)
+    times, total_pct, even_pct, odd_pct = [], [], [], []
+    for t, value in zip(total.times, total.values):
+        if not window[0] <= t <= window[1]:
+            continue
+        times.append(t)
+        total_pct.append(100.0 * value / capacity)
+        even_pct.append(100.0 * even.value_at(t) / capacity)
+        odd_pct.append(100.0 * odd.value_at(t) / capacity)
+    mean_pct = 100.0 * total.time_average(window[0], window[1]) / capacity
+    return Figure4Result(times, total_pct, even_pct, odd_pct, window, mean_pct)

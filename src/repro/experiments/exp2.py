@@ -1,0 +1,101 @@
+"""Experiment 2: large S, medium R — Figure 5 (Section 8).
+
+|S| = 1 000 MB, |R| = 18 MB, M = 0.1|R|; disk space D swept from
+0.5|R| to 3|R|.  As D approaches |R| from above, CDT-GH has less and less
+room to buffer S and its response time explodes (at D = 20 MB the paper's
+R was read 500 times); CTT-GH keeps the whole of D for S buffering and
+stays nearly flat, winning whenever D ≲ |R|.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.core.spec import InfeasibleJoinError
+from repro.experiments.config import (
+    BASE_TAPE,
+    EXPERIMENT2_D_FRACTIONS,
+    EXPERIMENT2_R_MB,
+    EXPERIMENT2_S_MB,
+    ExperimentScale,
+)
+from repro.experiments.harness import run_join
+from repro.experiments.report import format_series
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure5Point:
+    """One (D, method) measurement."""
+
+    d_mb: float
+    response_s: float | None
+    r_scans: float | None
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure5Result:
+    """Figure 5: response time of CDT-GH and CTT-GH versus disk space."""
+
+    d_mb_values: tuple[float, ...]
+    series: dict[str, list[Figure5Point]]
+    r_mb: float
+
+    def response_series(self) -> dict[str, list[float | None]]:
+        """Response-time series keyed by method (None = infeasible)."""
+        return {
+            symbol: [point.response_s for point in points]
+            for symbol, points in self.series.items()
+        }
+
+    def render(self) -> str:
+        """Paper-style rendering of Figure 5."""
+        title = "Figure 5: impact of disk space on CDT-GH and CTT-GH (seconds)"
+        body = format_series(
+            "D (MB)", list(self.d_mb_values), self.response_series(), "{:.0f}"
+        )
+        return f"{title}\n{body}"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the Figure 5 series."""
+        return {
+            "r_mb": self.r_mb,
+            "d_mb_values": list(self.d_mb_values),
+            "series": {
+                symbol: [dataclasses.asdict(point) for point in points]
+                for symbol, points in self.series.items()
+            },
+        }
+
+
+def run_experiment2(
+    scale: ExperimentScale | None = None,
+    d_fractions: typing.Sequence[float] = EXPERIMENT2_D_FRACTIONS,
+    s_mb: float = EXPERIMENT2_S_MB,
+    r_mb: float = EXPERIMENT2_R_MB,
+    methods: typing.Sequence[str] = ("CDT-GH", "CTT-GH"),
+) -> Figure5Result:
+    """Sweep D for the two hash methods (Figure 5)."""
+    scale = scale or ExperimentScale()
+    r, s = scale.relations(r_mb, s_mb)
+    # M = 0.1|R| as in the paper, clamped to Grace Hash's sqrt(|R|) floor
+    # (relation sizes scale linearly, the floor does not).
+    memory = max(0.1 * r.n_blocks, 1.05 * math.sqrt(r.n_blocks))
+    series: dict[str, list[Figure5Point]] = {symbol: [] for symbol in methods}
+    d_values = []
+    for fraction in d_fractions:
+        d_mb = scale.mb(r_mb) * fraction
+        d_values.append(d_mb)
+        disk = r.n_blocks * fraction
+        for symbol in methods:
+            try:
+                stats = run_join(
+                    symbol, r, s, memory_blocks=memory, disk_blocks=disk,
+                    tape=BASE_TAPE, scale=scale,
+                )
+                point = Figure5Point(d_mb, stats.response_s, stats.r_scans)
+            except InfeasibleJoinError:
+                point = Figure5Point(d_mb, None, None)
+            series[symbol].append(point)
+    return Figure5Result(tuple(d_values), series, scale.mb(r_mb))

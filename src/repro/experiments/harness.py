@@ -1,0 +1,59 @@
+"""Shared runner: build a spec from experiment knobs and execute a method."""
+
+from __future__ import annotations
+
+from repro.core.registry import method_by_symbol
+from repro.core.spec import JoinSpec, JoinStats
+from repro.experiments.config import BASE_TAPE, DISK_1996, ExperimentScale
+from repro.relational.join_core import reference_join
+from repro.relational.relation import Relation
+from repro.storage.disk import DiskParameters
+from repro.storage.tape import TapeDriveParameters
+
+
+class JoinVerificationError(AssertionError):
+    """A method produced a different result than the reference join."""
+
+
+def run_join(
+    symbol: str,
+    relation_r: Relation,
+    relation_s: Relation,
+    memory_blocks: float,
+    disk_blocks: float,
+    tape: TapeDriveParameters = BASE_TAPE,
+    scale: ExperimentScale | None = None,
+    disk_params: DiskParameters = DISK_1996,
+    trace_buffers: bool = False,
+    verify: bool = False,
+) -> JoinStats:
+    """Run one method on one configuration; optionally verify the output.
+
+    Verification recomputes the join in memory and compares cardinality
+    and checksum — expensive for large relations, so experiments sample
+    it rather than verifying every point (tests verify exhaustively).
+    """
+    scale = scale or ExperimentScale()
+    spec = JoinSpec(
+        relation_r,
+        relation_s,
+        memory_blocks=memory_blocks,
+        disk_blocks=disk_blocks,
+        n_disks=scale.n_disks,
+        disk_params=disk_params,
+        tape_params_r=tape,
+        tape_params_s=tape,
+        trace_buffers=trace_buffers,
+    )
+    stats = method_by_symbol(symbol).run(spec)
+    if verify:
+        expected = reference_join(relation_r, relation_s)
+        if (
+            stats.output.n_pairs != expected.n_pairs
+            or stats.output.checksum != expected.checksum
+        ):
+            raise JoinVerificationError(
+                f"{symbol} produced {stats.output} but the reference join "
+                f"is {expected}"
+            )
+    return stats

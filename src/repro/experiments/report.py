@@ -1,0 +1,51 @@
+"""Plain-text rendering of tables and chart series, paper-style."""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+def format_table(headers: typing.Sequence[str], rows: typing.Sequence[typing.Sequence]) -> str:
+    """Render an aligned text table with a header rule."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.rjust(width) for value, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    xs: typing.Sequence[float],
+    series: dict[str, typing.Sequence[float | None]],
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render chart series as one table: x column plus one column per line."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row: list = [_fmt(x)]
+        for name in series:
+            value = series[name][index]
+            if value is None or (isinstance(value, float) and math.isinf(value)):
+                row.append("-")
+            else:
+                row.append(y_format.format(value))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == int(value) and abs(value) < 1e9:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)

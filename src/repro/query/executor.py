@@ -1,0 +1,231 @@
+"""Query execution over the simulated tape hierarchy.
+
+Execution semantics, chosen to stay honest about what tapes can do:
+
+* A *scan pipeline* (filters/aggregate over one relation) reads the tape
+  once; filters and aggregates are applied to the stream for free, as the
+  paper assumes for high-selectivity consumers of a join.
+* A *filter feeding a join* is materialized first: the input tape is read
+  end to end and the surviving tuples are written to a scratch tape on
+  the other drive (a pipelined tape-to-tape pass).  Tapes have no
+  indices, so the read cost is unavoidable; the pay-off is that the join
+  then runs on the smaller relation — often switching to a cheaper
+  method via the planner.
+* The *join* itself is planned with :func:`repro.core.planner.plan_join`
+  and executed for real by the chosen tertiary join method.
+* ``Aggregate(Join, "count")`` is the join's verified output cardinality.
+  Other aggregates over a join would require materializing the join
+  output, which the paper's model deliberately pipelines away; they are
+  rejected with :class:`UnsupportedPlanError`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.core.planner import plan_join
+from repro.core.registry import method_by_symbol
+from repro.core.spec import JoinSpec
+from repro.query.plan import Aggregate, Filter, Join, PlanNode, TapeScan
+from repro.relational.relation import Relation
+from repro.simulator.engine import Simulator
+from repro.storage.block import DataChunk
+from repro.storage.bus import Bus
+from repro.storage.disk import DiskParameters
+from repro.storage.tape import TapeDrive, TapeDriveParameters, TapeVolume
+
+
+class UnsupportedPlanError(ValueError):
+    """The plan asks for something the tape execution model cannot do."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Machine:
+    """The workstation a query runs on (the model's M, D and devices)."""
+
+    memory_blocks: float
+    disk_blocks: float
+    n_disks: int = 2
+    disk_params: DiskParameters = dataclasses.field(default_factory=DiskParameters)
+    tape_params: TapeDriveParameters = dataclasses.field(
+        default_factory=TapeDriveParameters
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one query execution."""
+
+    value: typing.Any
+    simulated_s: float
+    join_method: str | None
+    passes: tuple[tuple[str, float], ...]
+
+
+def _scan_pass_s(relation: Relation, machine: Machine) -> float:
+    """Simulated seconds to stream one relation off its tape."""
+    sim = Simulator()
+    drive = TapeDrive(sim, "scan", Bus(sim, "bus"), relation.spec, machine.tape_params)
+    volume = TapeVolume("vol", relation.n_blocks + 1.0)
+    data = volume.create_file("data")
+    data._append(relation.as_chunk())
+    drive.load(volume)
+    sim.run(sim.process(drive.read_file(data)))
+    return sim.now
+
+
+def _materialize_pass_s(
+    source: Relation, surviving_keys: np.ndarray, machine: Machine
+) -> float:
+    """Simulated seconds to copy the filtered tuples to a scratch tape.
+
+    The source streams off one drive while the survivors are appended to
+    a scratch tape on the other drive, chunk by chunk — the pass is bound
+    by the slower of the two streams.
+    """
+    sim = Simulator()
+    spec = source.spec
+    bus = Bus(sim, "bus")
+    reader = TapeDrive(sim, "src", bus, spec, machine.tape_params)
+    writer = TapeDrive(sim, "dst", Bus(sim, "bus2"), spec, machine.tape_params)
+    src_volume = TapeVolume("src", source.n_blocks + 1.0)
+    data = src_volume.create_file("data")
+    data._append(source.as_chunk())
+    reader.load(src_volume)
+    dst_volume = TapeVolume("dst", source.n_blocks + 1.0)
+    out_file = dst_volume.create_file("filtered")
+    writer.load(dst_volume)
+
+    survive_ratio = len(surviving_keys) / source.n_tuples
+    chunk_blocks = 16.0
+
+    def pipeline():
+        offset = 0.0
+        total = source.n_blocks
+        while offset < total - 1e-9:
+            step = min(chunk_blocks, total - offset)
+            piece = yield from reader.read_range(data, offset, step)
+            offset += step
+            kept = max(0.0, step * survive_ratio)
+            if kept > 1e-9:
+                yield from writer.append(
+                    out_file, DataChunk(piece.keys[: int(len(piece.keys) * survive_ratio)], kept)
+                )
+
+    sim.run(sim.process(pipeline()))
+    return sim.now
+
+
+def _resolve_join_input(
+    node: PlanNode, machine: Machine, passes: list
+) -> Relation | None:
+    """Reduce a join input to a relation, charging materialization passes.
+
+    Returns ``None`` when a filter eliminated every tuple (the join is
+    then empty without running).
+    """
+    if isinstance(node, TapeScan):
+        return node.relation
+    if isinstance(node, Filter):
+        inner = _resolve_join_input(node.child, machine, passes)
+        if inner is None:
+            return None
+        keys = node.predicate.apply(inner.keys)
+        seconds = _materialize_pass_s(inner, keys, machine)
+        passes.append((f"filter {inner.name} ({len(keys)}/{inner.n_tuples} kept)", seconds))
+        if len(keys) == 0:
+            return None
+        return Relation(f"{inner.name}'", inner.schema, keys, inner.spec)
+    raise UnsupportedPlanError(
+        f"a join input must be a (possibly filtered) tape scan, got {type(node).__name__}"
+    )
+
+
+def _execute_join(node: Join, machine: Machine, passes: list):
+    left = _resolve_join_input(node.left, machine, passes)
+    right = _resolve_join_input(node.right, machine, passes)
+    if left is None or right is None:
+        from repro.relational.join_core import JoinResult
+
+        return JoinResult.zero(), None
+    if left.n_blocks > right.n_blocks:
+        left, right = right, left  # equi-joins are symmetric; R is smaller
+    spec = JoinSpec(
+        left,
+        right,
+        memory_blocks=min(machine.memory_blocks, left.n_blocks * 0.95),
+        disk_blocks=machine.disk_blocks,
+        n_disks=machine.n_disks,
+        disk_params=machine.disk_params,
+        tape_params_r=machine.tape_params,
+        tape_params_s=machine.tape_params,
+    )
+    plan = plan_join(spec)
+    stats = method_by_symbol(plan.chosen).run(spec)
+    passes.append((f"join via {plan.chosen}", stats.response_s))
+    return stats.output, plan.chosen
+
+
+def _stream_aggregate(kind: str, keys: np.ndarray):
+    if kind == "count":
+        return int(len(keys))
+    if kind == "count_distinct":
+        return int(len(np.unique(keys)))
+    if kind == "sum":
+        return int(keys.sum())
+    if kind == "min":
+        return int(keys.min()) if len(keys) else None
+    return int(keys.max()) if len(keys) else None
+
+
+def _resolve_stream(node: PlanNode) -> tuple[Relation, list]:
+    """Collapse a single-relation pipeline to (relation, predicates)."""
+    predicates = []
+    while isinstance(node, Filter):
+        predicates.append(node.predicate)
+        node = node.child
+    if not isinstance(node, TapeScan):
+        raise UnsupportedPlanError(
+            f"expected a (filtered) tape scan, got {type(node).__name__}"
+        )
+    return node.relation, list(reversed(predicates))
+
+
+def execute(plan: PlanNode, machine: Machine) -> QueryResult:
+    """Run a logical plan on ``machine`` and return its verified result."""
+    passes: list[tuple[str, float]] = []
+
+    if isinstance(plan, Aggregate) and isinstance(plan.child, Join):
+        if plan.kind != "count":
+            raise UnsupportedPlanError(
+                f"aggregate {plan.kind!r} over a join would materialize the "
+                "join output; the execution model pipelines it (only 'count' "
+                "is available)"
+            )
+        output, method = _execute_join(plan.child, machine, passes)
+        total = sum(seconds for _label, seconds in passes)
+        return QueryResult(output.n_pairs, total, method, tuple(passes))
+
+    if isinstance(plan, Join):
+        output, method = _execute_join(plan, machine, passes)
+        total = sum(seconds for _label, seconds in passes)
+        return QueryResult(output, total, method, tuple(passes))
+
+    if isinstance(plan, Aggregate):
+        relation, predicates = _resolve_stream(plan.child)
+        seconds = _scan_pass_s(relation, machine)
+        passes.append((f"scan {relation.name}", seconds))
+        keys = relation.keys
+        for predicate in predicates:
+            keys = predicate.apply(keys)
+        return QueryResult(
+            _stream_aggregate(plan.kind, keys), seconds, None, tuple(passes)
+        )
+
+    raise UnsupportedPlanError(
+        "a query must be an Aggregate or a Join at the root, got "
+        f"{type(plan).__name__}"
+    )

@@ -1,0 +1,74 @@
+"""Selection predicates over join keys.
+
+Predicates are vectorized (numpy mask over a key array) and deterministic,
+so a filtered relation is reproducible and its selectivity measurable.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+
+class Predicate(abc.ABC):
+    """A boolean condition on the join attribute."""
+
+    @abc.abstractmethod
+    def mask(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean mask of the keys that satisfy the predicate."""
+
+    def apply(self, keys: np.ndarray) -> np.ndarray:
+        """The keys that satisfy the predicate."""
+        return keys[self.mask(keys)]
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyRange(Predicate):
+    """``low <= key < high``."""
+
+    low: int
+    high: int
+
+    def __post_init__(self):
+        if self.high <= self.low:
+            raise ValueError(f"empty range [{self.low}, {self.high})")
+
+    def mask(self, keys: np.ndarray) -> np.ndarray:
+        """Keys inside the half-open range."""
+        return (keys >= self.low) & (keys < self.high)
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyModulo(Predicate):
+    """``key % modulus == remainder`` (a hash-like 1/modulus sample)."""
+
+    modulus: int
+    remainder: int = 0
+
+    def __post_init__(self):
+        if self.modulus < 1:
+            raise ValueError(f"modulus must be >= 1, got {self.modulus}")
+        if not 0 <= self.remainder < self.modulus:
+            raise ValueError("remainder must be in [0, modulus)")
+
+    def mask(self, keys: np.ndarray) -> np.ndarray:
+        """Keys in the selected residue class."""
+        return keys % self.modulus == self.remainder
+
+
+class KeyIn(Predicate):
+    """Membership in an explicit key set (a semi-join against a list)."""
+
+    def __init__(self, values):
+        self.values = np.unique(np.asarray(list(values), dtype=np.int64))
+        if len(self.values) == 0:
+            raise ValueError("empty membership set")
+
+    def mask(self, keys: np.ndarray) -> np.ndarray:
+        """Keys present in the membership set."""
+        return np.isin(keys, self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyIn({len(self.values)} values)"

@@ -1,0 +1,98 @@
+"""In-memory join primitives and result verification.
+
+Every tertiary join method decomposes the join into mini-joins of key
+arrays that fit in memory.  The primitives here compute, for each
+mini-join, the number of matching pairs and an order-independent checksum
+over the matched pairs; partial results add up, so two methods computed the
+same join if and only if their accumulated (count, checksum) agree with the
+:func:`reference_join` of the inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinResult:
+    """Output cardinality plus an order-independent pair checksum."""
+
+    n_pairs: int
+    checksum: int
+
+    def __add__(self, other: "JoinResult") -> "JoinResult":
+        return JoinResult(
+            self.n_pairs + other.n_pairs,
+            (self.checksum + other.checksum) & 0xFFFFFFFFFFFFFFFF,
+        )
+
+    @classmethod
+    def zero(cls) -> "JoinResult":
+        """The identity for accumulation."""
+        return cls(0, 0)
+
+
+class JoinAccumulator:
+    """Mutable sum of partial :class:`JoinResult` values."""
+
+    def __init__(self):
+        self.n_pairs = 0
+        self.checksum = 0
+        self.mini_joins = 0
+
+    def add(self, partial: JoinResult) -> None:
+        """Fold one mini-join's result into the total."""
+        self.n_pairs += partial.n_pairs
+        self.checksum = (self.checksum + partial.checksum) & 0xFFFFFFFFFFFFFFFF
+        self.mini_joins += 1
+
+    def result(self) -> JoinResult:
+        """The accumulated join result."""
+        return JoinResult(self.n_pairs, self.checksum)
+
+
+def hash_join(r_keys: np.ndarray, s_keys: np.ndarray) -> JoinResult:
+    """Equi-join two key arrays (hash/merge on distinct values).
+
+    For each key ``k`` appearing ``c_r`` times in R and ``c_s`` times in S,
+    the join emits ``c_r * c_s`` pairs, each contributing ``mix(k)`` to the
+    checksum (mod 2^64).
+    """
+    r_keys = np.asarray(r_keys, dtype=np.int64)
+    s_keys = np.asarray(s_keys, dtype=np.int64)
+    if len(r_keys) == 0 or len(s_keys) == 0:
+        return JoinResult.zero()
+    ur, cr = np.unique(r_keys, return_counts=True)
+    us, cs = np.unique(s_keys, return_counts=True)
+    common, ir, i_s = np.intersect1d(ur, us, assume_unique=True, return_indices=True)
+    if len(common) == 0:
+        return JoinResult.zero()
+    pairs = cr[ir].astype(np.uint64) * cs[i_s].astype(np.uint64)
+    mixed = (common.astype(np.uint64) * _MIX) & _MASK
+    with np.errstate(over="ignore"):
+        checksum = int(np.sum(pairs * mixed, dtype=np.uint64))
+    return JoinResult(int(pairs.sum()), checksum)
+
+
+def nested_loop_join(r_keys: np.ndarray, s_keys: np.ndarray) -> JoinResult:
+    """Reference O(|R|·|S|) implementation used to validate :func:`hash_join`."""
+    r_keys = np.asarray(r_keys, dtype=np.int64)
+    s_keys = np.asarray(s_keys, dtype=np.int64)
+    total_pairs = 0
+    checksum = np.uint64(0)
+    with np.errstate(over="ignore"):
+        for key in r_keys:
+            matches = int(np.count_nonzero(s_keys == key))
+            total_pairs += matches
+            checksum += np.uint64(matches) * ((np.uint64(key) * _MIX) & _MASK)
+    return JoinResult(total_pairs, int(checksum))
+
+
+def reference_join(relation_r, relation_s) -> JoinResult:
+    """Ground-truth join of two relations, computed entirely in memory."""
+    return hash_join(relation_r.keys, relation_s.keys)

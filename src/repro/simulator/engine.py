@@ -1,0 +1,124 @@
+"""The simulation engine: virtual clock and event queue."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.simulator.events import AllOf, AnyOf, Event, Timeout
+from repro.simulator.process import Process, ProcessCrash
+
+#: Scheduling priorities — urgent events (resource bookkeeping) run before
+#: normal events at the same timestamp.
+URGENT = 0
+NORMAL = 1
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Drives the virtual clock and dispatches triggered events.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert sim.now == 5.0 and proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: list = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value=None) -> Timeout:
+        """Create an event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator, name: str | None = None) -> Process:
+        """Spawn a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Sequence[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Sequence[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if event._exception is not None and not event.defused:
+            raise ProcessCrash(
+                f"unhandled failure in simulation: {event._exception!r}"
+            ) from event._exception
+
+    def run(self, until: float | Event | None = None):
+        """Run until the queue drains, time ``until`` passes, or an event fires.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        f"event triggered: {stop!r}"
+                    ) from None
+            return stop.value
+        horizon = float("inf") if until is None else float(until)
+        if horizon != float("inf") and horizon < self._now:
+            raise ValueError(f"cannot run until {horizon} < now {self._now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if horizon != float("inf"):
+            self._now = horizon
+        return None

@@ -1,0 +1,154 @@
+"""Tracing utilities: time series and busy-interval tracking.
+
+The paper's Figure 4 plots disk buffer space utilization over time during
+Step II of CTT-GH.  We regenerate it by sampling buffer occupancy into
+:class:`TimeSeries` objects; device busy time is accounted with
+:class:`IntervalTracker` so utilization and traffic statistics fall out of
+the simulation rather than being estimated.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class TimeSeries:
+    """A piecewise-constant metric sampled at (time, value) points."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def record(self, time: float, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time} < {self.times[-1]}"
+            )
+        if self.times and time == self.times[-1]:
+            self.values[-1] = value
+            return
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: float) -> float:
+        """Value in effect at ``time`` (last sample at or before it)."""
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        idx = bisect.bisect_right(self.times, time) - 1
+        if idx < 0:
+            raise ValueError(f"time {time} precedes first sample in {self.name!r}")
+        return self.values[idx]
+
+    def max(self) -> float:
+        """Largest sampled value."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def min(self) -> float:
+        """Smallest sampled value."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def time_average(self, start: float | None = None, end: float | None = None) -> float:
+        """Time-weighted mean over [start, end] for this step function."""
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        lo = self.times[0] if start is None else start
+        hi = self.times[-1] if end is None else end
+        if hi <= lo:
+            return self.value_at(lo)
+        total = 0.0
+        prev_t = lo
+        prev_v = self.value_at(lo)
+        start_idx = bisect.bisect_right(self.times, lo)
+        for t, v in zip(self.times[start_idx:], self.values[start_idx:]):
+            if t >= hi:
+                break
+            total += prev_v * (t - prev_t)
+            prev_t, prev_v = t, v
+        total += prev_v * (hi - prev_t)
+        return total / (hi - lo)
+
+    def points(self) -> list[tuple[float, float]]:
+        """All samples as (time, value) pairs."""
+        return list(zip(self.times, self.values))
+
+
+class IntervalTracker:
+    """Accumulates busy intervals for a device or process."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.intervals: list[tuple[float, float]] = []
+        self._open: float | None = None
+
+    def begin(self, time: float) -> None:
+        """Mark the start of a busy interval."""
+        if self._open is not None:
+            raise RuntimeError(f"interval already open on {self.name!r}")
+        self._open = time
+
+    def end(self, time: float) -> None:
+        """Mark the end of the open busy interval."""
+        if self._open is None:
+            raise RuntimeError(f"no open interval on {self.name!r}")
+        if time < self._open:
+            raise ValueError("interval ends before it starts")
+        self.intervals.append((self._open, time))
+        self._open = None
+
+    def add(self, start: float, end: float) -> None:
+        """Record a closed interval directly."""
+        if end < start:
+            raise ValueError("interval ends before it starts")
+        self.intervals.append((start, end))
+
+    def busy_time(self, start: float = 0.0, end: float = float("inf")) -> float:
+        """Total busy time clipped to [start, end]."""
+        total = 0.0
+        for lo, hi in self.intervals:
+            total += max(0.0, min(hi, end) - max(lo, start))
+        return total
+
+    def utilization(self, start: float, end: float) -> float:
+        """Fraction of [start, end] spent busy."""
+        if end <= start:
+            raise ValueError("empty window")
+        return self.busy_time(start, end) / (end - start)
+
+
+class TraceCollector:
+    """Registry of named time series and interval trackers."""
+
+    def __init__(self):
+        self.series: dict[str, TimeSeries] = {}
+        self.trackers: dict[str, IntervalTracker] = {}
+        self.counters: dict[str, float] = {}
+
+    def timeseries(self, name: str) -> TimeSeries:
+        """Get or create the time series called ``name``."""
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def tracker(self, name: str) -> IntervalTracker:
+        """Get or create the interval tracker called ``name``."""
+        if name not in self.trackers:
+            self.trackers[name] = IntervalTracker(name)
+        return self.trackers[name]
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate into the named counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of the named counter (0 if never touched)."""
+        return self.counters.get(name, 0.0)

@@ -1,0 +1,121 @@
+"""A shared I/O bus modeled as a fluid bandwidth pool.
+
+The paper's testbed attached disks and a tape drive to each of two Fast
+SCSI-2 buses; concurrent transfers share the bus.  We model this with
+max-min fair sharing: each active transfer proceeds at its device's nominal
+rate unless the sum of nominal rates exceeds the bus bandwidth, in which
+case rates are scaled by water-filling.  Whenever a transfer starts or
+completes, remaining work is settled at the old rates and rates are
+recomputed — a small fluid-flow scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulator.engine import Simulator
+from repro.simulator.events import Event
+
+_EPS_BYTES = 1e-6
+
+
+class _Flow:
+    __slots__ = ("remaining", "nominal", "rate", "event")
+
+    def __init__(self, remaining: float, nominal: float, event: Event):
+        self.remaining = remaining
+        self.nominal = nominal
+        self.rate = 0.0
+        self.event = event
+
+
+def _water_fill(flows: list[_Flow], capacity: float) -> None:
+    """Assign max-min fair rates capped at each flow's nominal rate."""
+    if not flows:
+        return
+    if math.isinf(capacity) or sum(f.nominal for f in flows) <= capacity:
+        for flow in flows:
+            flow.rate = flow.nominal
+        return
+    pending = sorted(flows, key=lambda f: f.nominal)
+    remaining_cap = capacity
+    while pending:
+        share = remaining_cap / len(pending)
+        flow = pending.pop(0)
+        flow.rate = min(flow.nominal, share)
+        remaining_cap -= flow.rate
+
+
+class Bus:
+    """A bandwidth-capped channel shared by concurrent transfers."""
+
+    def __init__(self, sim: Simulator, name: str, bandwidth_bytes_per_s: float = math.inf):
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"bus bandwidth must be positive, got {bandwidth_bytes_per_s}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth_bytes_per_s)
+        self.bytes_moved = 0.0
+        self._flows: list[_Flow] = []
+        self._last_update = sim.now
+        self._timer_token = 0
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._flows)
+
+    def transfer(self, nominal_rate_bytes_s: float, n_bytes: float) -> Event:
+        """Move ``n_bytes`` at up to ``nominal_rate_bytes_s``.
+
+        Returns an event that triggers when the transfer completes.  The
+        effective rate is reduced whenever the bus is oversubscribed.
+        """
+        if nominal_rate_bytes_s <= 0:
+            raise ValueError(f"transfer rate must be positive, got {nominal_rate_bytes_s}")
+        if n_bytes < 0:
+            raise ValueError(f"transfer size must be >= 0, got {n_bytes}")
+        done = Event(self.sim)
+        self.bytes_moved += n_bytes
+        if n_bytes <= _EPS_BYTES:
+            done.succeed()
+            return done
+        self._settle()
+        self._flows.append(_Flow(n_bytes, nominal_rate_bytes_s, done))
+        self._replan()
+        return done
+
+    # -- internals ------------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Advance all flows' remaining work to the current time."""
+        elapsed = self.sim.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_update = self.sim.now
+
+    def _replan(self) -> None:
+        """Recompute rates and schedule the next completion."""
+        _water_fill(self._flows, self.bandwidth)
+        self._timer_token += 1
+        if not self._flows:
+            return
+        next_done = min(f.remaining / f.rate for f in self._flows)
+        # Clamp to a minimum tick: at large timestamps a sub-resolution
+        # delay would not advance the float clock, and the settle/replan
+        # cycle would spin forever on a nearly-finished flow.
+        next_done = max(next_done, 1e-9, self.sim.now * 1e-12)
+        token = self._timer_token
+        timer = self.sim.timeout(next_done)
+        timer.callbacks.append(lambda _event: self._on_timer(token))
+
+    def _on_timer(self, token: int) -> None:
+        if token != self._timer_token:
+            return  # superseded by a later replan
+        self._settle()
+        finished = [f for f in self._flows if f.remaining <= _EPS_BYTES]
+        self._flows = [f for f in self._flows if f.remaining > _EPS_BYTES]
+        for flow in finished:
+            flow.event.succeed()
+        self._replan()

@@ -1,0 +1,79 @@
+"""Circular buffer producer/consumer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.buffering.circular import CircularBuffer
+from repro.storage.block import DataChunk
+
+
+def chunk_of(n_blocks, start=0):
+    return DataChunk.from_keys(np.arange(start, start + round(n_blocks * 10)), 10)
+
+
+class TestCircularBuffer:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            CircularBuffer(sim, 0.0)
+
+    def test_oversized_chunk_rejected(self, sim):
+        buffer = CircularBuffer(sim, capacity_blocks=2.0)
+
+        def producer():
+            yield from buffer.put(chunk_of(3.0))
+
+        proc = sim.process(producer())
+        with pytest.raises(Exception, match="exceeds buffer"):
+            sim.run(proc)
+
+    def test_fifo_pipeline(self, sim):
+        buffer = CircularBuffer(sim, capacity_blocks=4.0)
+        seen = []
+
+        def producer():
+            for i in range(5):
+                yield from buffer.put(chunk_of(2.0, start=i * 100))
+            yield from buffer.close()
+
+        def consumer():
+            while True:
+                data = yield from buffer.get()
+                if data is None:
+                    return
+                seen.append(int(data.keys[0]))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert seen == [0, 100, 200, 300, 400]
+
+    def test_producer_blocks_when_full(self, sim):
+        buffer = CircularBuffer(sim, capacity_blocks=2.0)
+        progress = []
+
+        def producer():
+            yield from buffer.put(chunk_of(2.0))
+            progress.append("first in")
+            yield from buffer.put(chunk_of(2.0, start=100))
+            progress.append("second in")
+
+        def slow_consumer():
+            yield sim.timeout(5.0)
+            yield from buffer.get()
+
+        sim.process(producer())
+        sim.process(slow_consumer())
+        sim.run()
+        assert progress == ["first in", "second in"]
+        assert buffer.level_blocks == pytest.approx(2.0)
+
+    def test_level_tracks_occupancy(self, sim):
+        buffer = CircularBuffer(sim, capacity_blocks=10.0)
+
+        def flow():
+            yield from buffer.put(chunk_of(4.0))
+            assert buffer.level_blocks == pytest.approx(4.0)
+            yield from buffer.get()
+            assert buffer.level_blocks == pytest.approx(0.0)
+
+        sim.run(sim.process(flow()))

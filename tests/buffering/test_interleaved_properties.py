@@ -1,0 +1,74 @@
+"""Property-based invariants of the interleaved disk buffer.
+
+Under arbitrary put/consume schedules the buffer must conserve tuples,
+never exceed its capacity, and end each iteration empty.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffering.interleaved import InterleavedDiskBuffer
+from repro.simulator.engine import Simulator
+from repro.storage.block import BlockSpec, DataChunk
+from repro.storage.bus import Bus
+from repro.storage.disk import Disk
+from repro.storage.disk_array import DiskArray
+
+iteration_plans = st.lists(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),      # tag (bucket)
+            st.integers(min_value=1, max_value=40),     # tuples in chunk
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(plan=iteration_plans)
+@settings(max_examples=40, deadline=None)
+def test_conservation_and_capacity(plan):
+    sim = Simulator()
+    bus = Bus(sim, "b")
+    disks = [Disk(sim, f"d{i}", bus, BlockSpec(), 1000.0) for i in range(2)]
+    array = DiskArray(sim, disks)
+    capacity = 50.0
+    buffer = InterleavedDiskBuffer(sim, array, "buf", capacity)
+    tpb = 10
+    counter = [0]
+    taken_tuples = []
+
+    def writer():
+        for iteration, chunks in enumerate(plan):
+            for tag, n_tuples in chunks:
+                keys = np.arange(counter[0], counter[0] + n_tuples)
+                counter[0] += n_tuples
+                yield from buffer.put(
+                    iteration, tag, DataChunk.from_keys(keys, tpb)
+                )
+                assert buffer.level_blocks <= capacity + 1e-6
+            buffer.end_iteration(iteration)
+
+    def reader():
+        for iteration, chunks in enumerate(plan):
+            yield buffer.wait_iteration(iteration)
+            for tag in sorted({tag for tag, _n in chunks}):
+                while True:
+                    data = yield from buffer.pop_coalesced(iteration, tag, 3.0)
+                    if data is None:
+                        break
+                    taken_tuples.extend(data.keys.tolist())
+            buffer.finish_iteration(iteration)
+
+    done = sim.all_of([sim.process(writer()), sim.process(reader())])
+    sim.run(done)
+    total_put = sum(n for chunks in plan for _tag, n in chunks)
+    assert sorted(taken_tuples) == list(range(total_put))
+    assert buffer.level_blocks == pytest.approx(0.0, abs=1e-6)
+    buffer.close()
+    assert array.used_blocks == pytest.approx(0.0, abs=1e-6)

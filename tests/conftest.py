@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.relational.datagen import uniform_relation
+from repro.simulator.engine import Simulator
+from repro.storage.block import BlockSpec
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def block_spec() -> BlockSpec:
+    """The default 100 KB block geometry."""
+    return BlockSpec()
+
+
+@pytest.fixture
+def small_r():
+    """A small R relation (~5 MB, 51.2 blocks) for fast method runs."""
+    return uniform_relation("R", 5.0, tuple_bytes=4096, seed=11)
+
+
+@pytest.fixture
+def small_s(small_r):
+    """A matching S relation (~20 MB) sharing R's key space."""
+    return uniform_relation(
+        "S", 20.0, tuple_bytes=4096, seed=12, key_space=4 * small_r.n_tuples
+    )

@@ -1,0 +1,112 @@
+"""The staging and naive baselines the paper argues against."""
+
+import pytest
+
+from repro.core.baselines import BASELINES, NaiveTapeNestedLoop, StagedDiskJoin
+from repro.core.registry import ALL_METHODS, method_by_symbol
+from repro.core.spec import InfeasibleJoinError, JoinSpec
+from repro.relational.join_core import reference_join
+
+
+@pytest.fixture(scope="module")
+def pair():
+    from repro.relational.datagen import uniform_relation
+
+    r = uniform_relation("R", 5.0, tuple_bytes=4096, seed=11)
+    s = uniform_relation("S", 20.0, tuple_bytes=4096, seed=12, key_space=4 * r.n_tuples)
+    return r, s
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("baseline", BASELINES, ids=lambda b: b.symbol)
+    def test_produces_reference_join(self, baseline, pair):
+        r, s = pair
+        spec = JoinSpec(r, s, memory_blocks=10.0, disk_blocks=600.0)
+        stats = baseline.run(spec)
+        assert stats.output == reference_join(r, s)
+
+    def test_baselines_not_in_table2_registry(self):
+        registry_symbols = {m.symbol for m in ALL_METHODS}
+        for baseline in BASELINES:
+            assert baseline.symbol not in registry_symbols
+
+
+class TestStagedDiskJoin:
+    def test_fails_without_room_to_stage_everything(self, pair):
+        """'This approach fails completely if not enough secondary storage
+        space exists to stage the entire dataset.'"""
+        r, s = pair
+        spec = JoinSpec(r, s, memory_blocks=10.0,
+                        disk_blocks=1.5 * (r.n_blocks + s.n_blocks))
+        with pytest.raises(InfeasibleJoinError):
+            StagedDiskJoin().validate(spec)
+
+    def test_needs_far_more_disk_than_cdt_gh(self, pair):
+        r, s = pair
+        spec = JoinSpec(r, s, memory_blocks=10.0, disk_blocks=600.0)
+        staged_req = StagedDiskJoin().requirements(spec).disk_blocks
+        cdt_req = method_by_symbol("CDT-GH").requirements(spec).disk_blocks
+        assert staged_req > 4 * cdt_req
+
+    def test_paper_method_beats_staging_with_less_disk(self, pair):
+        """The paper's core pitch: direct tertiary access with a fraction
+        of the disk beats staging everything first."""
+        r, s = pair
+        staged = StagedDiskJoin().run(
+            JoinSpec(r, s, memory_blocks=10.0, disk_blocks=600.0)
+        )
+        direct = method_by_symbol("CDT-GH").run(
+            JoinSpec(r, s, memory_blocks=10.0, disk_blocks=130.0)
+        )
+        assert direct.response_s < staged.response_s
+        assert direct.peak_disk_blocks < 0.4 * staged.peak_disk_blocks
+
+    def test_stages_both_relations(self, pair):
+        r, s = pair
+        stats = StagedDiskJoin().run(
+            JoinSpec(r, s, memory_blocks=10.0, disk_blocks=600.0)
+        )
+        assert stats.tape_r_read_blocks == pytest.approx(r.n_blocks)
+        assert stats.tape_s_read_blocks == pytest.approx(s.n_blocks)
+        # Everything staged + partitioned: at least 2(|R|+|S|) disk writes.
+        assert stats.disk_write_blocks >= 2 * (r.n_blocks + s.n_blocks) - 1.0
+
+
+class TestNaiveTapeNestedLoop:
+    def test_uses_no_disk(self, pair):
+        r, s = pair
+        stats = NaiveTapeNestedLoop().run(
+            JoinSpec(r, s, memory_blocks=10.0, disk_blocks=1.0)
+        )
+        assert stats.peak_disk_blocks == 0.0
+        assert stats.disk_traffic_blocks == 0.0
+
+    def test_rescans_s_per_r_chunk(self, pair):
+        r, s = pair
+        stats = NaiveTapeNestedLoop().run(
+            JoinSpec(r, s, memory_blocks=10.0, disk_blocks=1.0)
+        )
+        assert stats.iterations == 6  # ceil(51.2 / 9)
+        assert stats.tape_s_read_blocks == pytest.approx(
+            stats.iterations * s.n_blocks
+        )
+
+    def test_more_memory_means_fewer_s_scans(self, pair):
+        r, s = pair
+        small = NaiveTapeNestedLoop().run(
+            JoinSpec(r, s, memory_blocks=8.0, disk_blocks=1.0)
+        )
+        large = NaiveTapeNestedLoop().run(
+            JoinSpec(r, s, memory_blocks=40.0, disk_blocks=1.0)
+        )
+        assert large.iterations < small.iterations
+        assert large.response_s < small.response_s
+
+    def test_every_paper_method_beats_it(self, pair):
+        r, s = pair
+        naive = NaiveTapeNestedLoop().run(
+            JoinSpec(r, s, memory_blocks=10.0, disk_blocks=130.0)
+        )
+        for method in ALL_METHODS:
+            stats = method.run(JoinSpec(r, s, memory_blocks=10.0, disk_blocks=130.0))
+            assert stats.response_s < naive.response_s, method.symbol

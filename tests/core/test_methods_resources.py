@@ -1,0 +1,153 @@
+"""Verify Table 2: measured peaks must respect each method's budgets.
+
+The environment enforces M (memory ledger), D (per-disk capacity) and the
+tape volumes' capacities, so simply *completing* is already a proof; these
+tests additionally check the measured peaks and scratch usage against what
+Table 2 promises, and that insufficient budgets are rejected up front.
+"""
+
+import math
+
+import pytest
+
+from repro.core.registry import method_by_symbol, symbols
+from repro.core.spec import InfeasibleJoinError, JoinSpec
+
+ALL_SYMBOLS = symbols()
+
+M_BLOCKS = 12.0
+D_BLOCKS = 130.0
+
+
+@pytest.fixture(scope="module")
+def stats_by_symbol(small_r_module, small_s_module):
+    results = {}
+    for symbol in ALL_SYMBOLS:
+        spec = JoinSpec(
+            small_r_module, small_s_module,
+            memory_blocks=M_BLOCKS, disk_blocks=D_BLOCKS,
+        )
+        results[symbol] = method_by_symbol(symbol).run(spec)
+    return results
+
+
+@pytest.fixture(scope="module")
+def small_r_module():
+    from repro.relational.datagen import uniform_relation
+
+    return uniform_relation("R", 5.0, tuple_bytes=4096, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_s_module(small_r_module):
+    from repro.relational.datagen import uniform_relation
+
+    return uniform_relation(
+        "S", 20.0, tuple_bytes=4096, seed=12, key_space=4 * small_r_module.n_tuples
+    )
+
+
+class TestMemoryBudget:
+    @pytest.mark.parametrize("symbol", ALL_SYMBOLS)
+    def test_peak_memory_within_m(self, symbol, stats_by_symbol):
+        assert stats_by_symbol[symbol].peak_memory_blocks <= M_BLOCKS + 1e-6
+
+    @pytest.mark.parametrize("symbol", ALL_SYMBOLS)
+    def test_memory_is_actually_used(self, symbol, stats_by_symbol):
+        assert stats_by_symbol[symbol].peak_memory_blocks > 0.5 * M_BLOCKS
+
+
+class TestDiskBudget:
+    @pytest.mark.parametrize("symbol", ALL_SYMBOLS)
+    def test_peak_disk_within_d(self, symbol, stats_by_symbol):
+        # Slack: two tuples of rounding allowance (see JoinEnvironment).
+        assert stats_by_symbol[symbol].peak_disk_blocks <= D_BLOCKS + 0.2
+
+    def test_nb_methods_use_about_r_blocks(self, stats_by_symbol, small_r_module):
+        for symbol in ("DT-NB", "CDT-NB/MB"):
+            peak = stats_by_symbol[symbol].peak_disk_blocks
+            assert peak == pytest.approx(small_r_module.n_blocks, rel=0.05), symbol
+
+    def test_db_variant_uses_r_plus_chunk(self, stats_by_symbol, small_r_module):
+        peak = stats_by_symbol["CDT-NB/DB"].peak_disk_blocks
+        chunk = 0.9 * M_BLOCKS
+        assert peak == pytest.approx(small_r_module.n_blocks + chunk, rel=0.1)
+
+    def test_grace_hash_methods_fill_d(self, stats_by_symbol):
+        for symbol in ("DT-GH", "CDT-GH", "CTT-GH"):
+            assert stats_by_symbol[symbol].peak_disk_blocks > 0.9 * D_BLOCKS, symbol
+
+
+class TestScratchTape:
+    def test_disk_tape_methods_use_no_scratch(self, stats_by_symbol):
+        for symbol in ("DT-NB", "CDT-NB/MB", "CDT-NB/DB", "DT-GH", "CDT-GH"):
+            stats = stats_by_symbol[symbol]
+            assert stats.scratch_used_r_blocks == 0.0, symbol
+            assert stats.scratch_used_s_blocks == 0.0, symbol
+
+    def test_ctt_gh_appends_hashed_r_to_r_tape(self, stats_by_symbol, small_r_module):
+        stats = stats_by_symbol["CTT-GH"]
+        assert stats.scratch_used_r_blocks == pytest.approx(
+            small_r_module.n_blocks, rel=1e-6
+        )
+        assert stats.scratch_used_s_blocks == 0.0
+
+    def test_tt_gh_crosses_both_tapes(
+        self, stats_by_symbol, small_r_module, small_s_module
+    ):
+        stats = stats_by_symbol["TT-GH"]
+        assert stats.scratch_used_r_blocks == pytest.approx(
+            small_s_module.n_blocks, rel=1e-6
+        )
+        assert stats.scratch_used_s_blocks == pytest.approx(
+            small_r_module.n_blocks, rel=1e-6
+        )
+
+
+class TestFeasibilityChecks:
+    def test_nb_requires_r_on_disk(self, small_r, small_s):
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0,
+                        disk_blocks=small_r.n_blocks - 5.0)
+        for symbol in ("DT-NB", "CDT-NB/MB", "CDT-NB/DB"):
+            with pytest.raises(InfeasibleJoinError):
+                method_by_symbol(symbol).validate(spec)
+
+    def test_db_needs_room_for_the_chunk_too(self, small_r, small_s):
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0,
+                        disk_blocks=small_r.n_blocks + 2.0)
+        method_by_symbol("DT-NB").validate(spec)  # plain NB is fine
+        with pytest.raises(InfeasibleJoinError):
+            method_by_symbol("CDT-NB/DB").validate(spec)
+
+    def test_grace_hash_needs_sqrt_r_memory(self, small_r, small_s):
+        tiny = 0.5 * math.sqrt(small_r.n_blocks)
+        spec = JoinSpec(small_r, small_s, memory_blocks=tiny, disk_blocks=200.0)
+        for symbol in ("DT-GH", "CDT-GH", "CTT-GH", "TT-GH"):
+            with pytest.raises(InfeasibleJoinError):
+                method_by_symbol(symbol).validate(spec)
+
+    def test_dt_gh_needs_space_beyond_r(self, small_r, small_s):
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0,
+                        disk_blocks=small_r.n_blocks)
+        with pytest.raises(InfeasibleJoinError):
+            method_by_symbol("CDT-GH").validate(spec)
+
+    def test_ctt_gh_needs_r_scratch(self, small_r, small_s):
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0, disk_blocks=60.0,
+                        scratch_r_blocks=small_r.n_blocks / 2)
+        with pytest.raises(InfeasibleJoinError):
+            method_by_symbol("CTT-GH").validate(spec)
+
+    def test_tt_gh_needs_both_scratches(self, small_r, small_s):
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0, disk_blocks=60.0,
+                        scratch_r_blocks=small_s.n_blocks / 2,
+                        scratch_s_blocks=small_r.n_blocks * 2)
+        with pytest.raises(InfeasibleJoinError):
+            method_by_symbol("TT-GH").validate(spec)
+
+    def test_tape_tape_methods_work_with_tiny_disk(self, small_r, small_s):
+        """Table 2: CTT-GH needs only |S_i| of disk, TT-GH 'any'."""
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0, disk_blocks=8.0)
+        for symbol in ("CTT-GH", "TT-GH"):
+            stats = method_by_symbol(symbol).run(spec)
+            assert stats.output.n_pairs > 0, symbol

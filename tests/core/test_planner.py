@@ -1,0 +1,83 @@
+"""The planner must reproduce the paper's Section 10 conclusions."""
+
+import pytest
+
+from repro.core.planner import plan_join
+from repro.core.spec import InfeasibleJoinError, JoinSpec
+from repro.relational.datagen import uniform_relation
+
+
+@pytest.fixture(scope="module")
+def medium_pair():
+    r = uniform_relation("R", 18.0, tuple_bytes=2048, seed=1)
+    s = uniform_relation("S", 150.0, tuple_bytes=2048, seed=2, key_space=4 * r.n_tuples)
+    return r, s
+
+
+class TestPaperConclusions:
+    def test_large_join_with_tiny_disk_picks_ctt_gh(self, medium_pair):
+        """'CTT-GH is the sole candidate for very large tape joins as it
+        requires very little main memory and disk space.'"""
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=16.0, disk_blocks=0.3 * r.n_blocks)
+        plan = plan_join(spec)
+        assert plan.chosen == "CTT-GH"
+
+    def test_ample_disk_little_memory_picks_cdt_gh(self, medium_pair):
+        """'When ample disk space but little main memory is available,
+        CDT-GH is the preferred join method.'"""
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=0.15 * r.n_blocks,
+                        disk_blocks=3.0 * r.n_blocks)
+        plan = plan_join(spec)
+        assert plan.chosen == "CDT-GH"
+
+    def test_large_memory_picks_nested_block(self, medium_pair):
+        """'CDT-NB yields very good performance when a large fraction of
+        the smaller relation fits in memory.'"""
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=0.9 * r.n_blocks,
+                        disk_blocks=3.0 * r.n_blocks)
+        plan = plan_join(spec)
+        assert plan.chosen == "CDT-NB/MB"
+
+    def test_scratchless_tapes_exclude_tape_tape_methods(self, medium_pair):
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=16.0, disk_blocks=3.0 * r.n_blocks,
+                        scratch_r_blocks=0.0, scratch_s_blocks=0.0)
+        plan = plan_join(spec)
+        rejected = {symbol for symbol, _reason in plan.rejected}
+        assert {"CTT-GH", "TT-GH"} <= rejected
+        assert plan.chosen not in ("CTT-GH", "TT-GH")
+
+
+class TestPlanShape:
+    def test_ranking_is_sorted(self, medium_pair):
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=16.0, disk_blocks=3.0 * r.n_blocks)
+        plan = plan_join(spec)
+        estimates = [ranked.estimated_s for ranked in plan.ranked]
+        assert estimates == sorted(estimates)
+        assert plan.estimated_s == estimates[0]
+
+    def test_rejections_carry_reasons(self, medium_pair):
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=16.0, disk_blocks=0.3 * r.n_blocks)
+        plan = plan_join(spec)
+        assert all(reason for _symbol, reason in plan.rejected)
+
+    def test_no_feasible_method_raises(self, medium_pair):
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=2.0, disk_blocks=3.0,
+                        scratch_r_blocks=0.0, scratch_s_blocks=0.0)
+        with pytest.raises(InfeasibleJoinError, match="no join method"):
+            plan_join(spec)
+
+    def test_chosen_method_actually_runs(self, medium_pair):
+        from repro.core.registry import method_by_symbol
+
+        r, s = medium_pair
+        spec = JoinSpec(r, s, memory_blocks=20.0, disk_blocks=2.0 * r.n_blocks)
+        plan = plan_join(spec)
+        stats = method_by_symbol(plan.chosen).run(spec)
+        assert stats.response_s > 0

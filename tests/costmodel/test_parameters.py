@@ -1,0 +1,62 @@
+"""SystemParameters validation and derivation."""
+
+import math
+
+import pytest
+
+from repro.core.spec import JoinSpec
+from repro.costmodel.parameters import SystemParameters
+
+
+def params(**overrides):
+    base = dict(
+        size_r_blocks=100.0,
+        size_s_blocks=1000.0,
+        memory_blocks=20.0,
+        disk_blocks=300.0,
+        disk_rate_blocks_s=40.0,
+        tape_rate_blocks_s=20.0,
+    )
+    base.update(overrides)
+    return SystemParameters(**base)
+
+
+class TestValidation:
+    def test_r_must_be_smaller(self):
+        with pytest.raises(ValueError):
+            params(size_r_blocks=2000.0)
+
+    def test_positive_sizes(self):
+        with pytest.raises(ValueError):
+            params(size_r_blocks=0.0)
+        with pytest.raises(ValueError):
+            params(memory_blocks=0.0)
+        with pytest.raises(ValueError):
+            params(disk_rate_blocks_s=0.0)
+
+
+class TestDerived:
+    def test_optimum_and_bare_read(self):
+        p = params()
+        assert p.optimum_join_s == pytest.approx(50.0)
+        assert p.bare_read_s == pytest.approx(55.0)
+
+    def test_separate_r_drive_rate(self):
+        p = params(tape_rate_r_blocks_s=10.0)
+        assert p.rate_tape_r == 10.0
+        assert p.tape_rate_blocks_s == 20.0
+
+    def test_default_scratch_is_infinite(self):
+        p = params()
+        assert math.isinf(p.scratch_r_blocks)
+
+    def test_from_spec_round_trip(self, small_r, small_s):
+        spec = JoinSpec(small_r, small_s, memory_blocks=10.0, disk_blocks=120.0)
+        p = SystemParameters.from_spec(spec)
+        assert p.size_r_blocks == pytest.approx(spec.size_r_blocks)
+        assert p.size_s_blocks == pytest.approx(spec.size_s_blocks)
+        assert p.memory_blocks == spec.memory_blocks
+        assert p.disk_blocks == spec.disk_blocks
+        assert p.disk_rate_blocks_s == pytest.approx(spec.disk_rate_blocks_s)
+        assert p.tape_rate_blocks_s == pytest.approx(spec.tape_rate_s_blocks_s)
+        assert p.optimum_join_s == pytest.approx(spec.optimum_join_s)

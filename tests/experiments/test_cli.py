@@ -1,0 +1,72 @@
+"""The python -m repro.experiments command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_analytical_figures_are_fast(self, capsys):
+        assert main(["fig1", "fig2", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out and "Figure 3" in out
+
+    def test_scaled_table3(self, capsys):
+        assert main(["table3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Join IV" in out
+
+    def test_scaled_fig4(self, capsys):
+        assert main(["fig4", "--scale", "0.1"]) == 0
+        assert "utilization" in capsys.readouterr().out
+
+    def test_exp3_with_tape_choice(self, capsys):
+        assert main(["exp3", "--scale", "0.15", "--tape", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "fast tape" in out
+        assert "Figure 8" in out
+
+    def test_duplicate_artifacts_run_once(self, capsys):
+        assert main(["fig1", "fig1"]) == 0
+        assert capsys.readouterr().out.count("Figure 1 (small |R|)") == 1
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+
+class TestJsonExport:
+    def test_json_output_is_valid_and_inf_free(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "artifacts.json"
+        assert main(["fig1", "table3", "--scale", "0.05", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert set(data) == {"fig1", "table3"}
+        assert len(data["table3"]["rows"]) == 4
+        assert all(
+            v is None or isinstance(v, (int, float))
+            for series in data["fig1"]["curves"].values()
+            for v in series
+        )
+
+    def test_assumptions_artifact(self, capsys):
+        assert main(["assumptions"]) == 0
+        out = capsys.readouterr().out
+        assert "media exchanges" in out
+        assert "disk positioning" in out
+
+    def test_stats_to_dict_round_trips_through_json(self, small_r, small_s):
+        import json
+
+        from repro.core.registry import method_by_symbol
+        from repro.core.spec import JoinSpec
+
+        stats = method_by_symbol("CDT-GH").run(
+            JoinSpec(small_r, small_s, memory_blocks=10.0, disk_blocks=130.0)
+        )
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["symbol"] == "CDT-GH"
+        assert payload["output_pairs"] == stats.output.n_pairs
+        assert payload["relative_cost"] == pytest.approx(stats.relative_cost)

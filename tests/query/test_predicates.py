@@ -1,0 +1,58 @@
+"""Selection predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.predicates import KeyIn, KeyModulo, KeyRange
+
+KEYS = np.array([0, 1, 5, 9, 10, 11, 20, 20, 35], dtype=np.int64)
+
+
+class TestKeyRange:
+    def test_half_open_semantics(self):
+        selected = KeyRange(5, 20).apply(KEYS)
+        np.testing.assert_array_equal(selected, [5, 9, 10, 11])
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange(5, 5)
+
+    @given(
+        low=st.integers(-100, 100),
+        width=st.integers(1, 100),
+        keys=st.lists(st.integers(-200, 200), max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mask_matches_python_semantics(self, low, width, keys):
+        arr = np.array(keys, dtype=np.int64)
+        mask = KeyRange(low, low + width).mask(arr)
+        expected = [low <= k < low + width for k in keys]
+        assert mask.tolist() == expected
+
+
+class TestKeyModulo:
+    def test_residue_class(self):
+        selected = KeyModulo(5, 0).apply(KEYS)
+        np.testing.assert_array_equal(selected, [0, 5, 10, 20, 20, 35])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyModulo(0)
+        with pytest.raises(ValueError):
+            KeyModulo(5, 5)
+
+    def test_residues_partition_the_keys(self):
+        total = sum(len(KeyModulo(3, r).apply(KEYS)) for r in range(3))
+        assert total == len(KEYS)
+
+
+class TestKeyIn:
+    def test_membership(self):
+        selected = KeyIn([20, 9, 999]).apply(KEYS)
+        np.testing.assert_array_equal(selected, [9, 20, 20])
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            KeyIn([])

@@ -1,0 +1,108 @@
+"""Join primitives: correctness, additivity, checksum properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.hashing import partition_keys
+from repro.relational.join_core import (
+    JoinAccumulator,
+    JoinResult,
+    hash_join,
+    nested_loop_join,
+    reference_join,
+)
+
+keys_arrays = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=0, max_size=60
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+
+class TestJoinResult:
+    def test_addition(self):
+        total = JoinResult(2, 10) + JoinResult(3, 20)
+        assert total == JoinResult(5, 30)
+
+    def test_checksum_wraps_mod_2_64(self):
+        big = JoinResult(1, 2**64 - 1) + JoinResult(1, 5)
+        assert big.checksum == 4
+
+    def test_zero_identity(self):
+        result = JoinResult(7, 1234)
+        assert result + JoinResult.zero() == result
+
+
+class TestHashJoin:
+    def test_simple_match_counts(self):
+        result = hash_join(np.array([1, 2, 3]), np.array([2, 2, 4]))
+        assert result.n_pairs == 2
+
+    def test_duplicates_multiply(self):
+        result = hash_join(np.array([5, 5]), np.array([5, 5, 5]))
+        assert result.n_pairs == 6
+
+    def test_no_matches(self):
+        result = hash_join(np.array([1, 2]), np.array([3, 4]))
+        assert result == JoinResult.zero()
+
+    def test_empty_inputs(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert hash_join(empty, np.array([1])) == JoinResult.zero()
+        assert hash_join(np.array([1]), empty) == JoinResult.zero()
+
+    def test_symmetric(self):
+        a = np.array([1, 2, 2, 3])
+        b = np.array([2, 3, 3])
+        assert hash_join(a, b) == hash_join(b, a)
+
+    @given(r=keys_arrays, s=keys_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_nested_loop_reference(self, r, s):
+        assert hash_join(r, s) == nested_loop_join(r, s)
+
+    @given(r=keys_arrays, s=keys_arrays, n_chunks=st.integers(2, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_additive_over_s_chunks(self, r, s, n_chunks):
+        """Nested-block decomposition: joining R against S chunk by chunk
+        sums to the full join."""
+        whole = hash_join(r, s)
+        acc = JoinAccumulator()
+        for part in np.array_split(s, n_chunks):
+            acc.add(hash_join(r, part))
+        assert acc.result() == whole
+
+    @given(r=keys_arrays, s=keys_arrays, n_buckets=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_additive_over_hash_buckets(self, r, s, n_buckets):
+        """Grace-hash decomposition: per-bucket mini-joins sum to the
+        full join."""
+        whole = hash_join(r, s)
+        acc = JoinAccumulator()
+        r_parts = partition_keys(r, n_buckets) if len(r) else [r] * n_buckets
+        s_parts = partition_keys(s, n_buckets) if len(s) else [s] * n_buckets
+        for r_part, s_part in zip(r_parts, s_parts):
+            acc.add(hash_join(r_part, s_part))
+        assert acc.result() == whole
+
+    def test_checksum_distinguishes_results_of_equal_size(self):
+        a = hash_join(np.array([1]), np.array([1]))
+        b = hash_join(np.array([2]), np.array([2]))
+        assert a.n_pairs == b.n_pairs == 1
+        assert a.checksum != b.checksum
+
+
+class TestAccumulator:
+    def test_counts_mini_joins(self):
+        acc = JoinAccumulator()
+        acc.add(JoinResult(1, 5))
+        acc.add(JoinResult(2, 6))
+        assert acc.mini_joins == 2
+        assert acc.result() == JoinResult(3, 11)
+
+
+class TestReferenceJoin:
+    def test_on_relations(self, small_r, small_s):
+        result = reference_join(small_r, small_s)
+        assert result == hash_join(small_r.keys, small_s.keys)
+        assert result.n_pairs > 0

@@ -1,0 +1,62 @@
+"""Schemas and relations."""
+
+import numpy as np
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+from repro.storage.block import BlockSpec
+
+
+class TestSchema:
+    def test_tuples_per_block(self):
+        schema = Schema("t", tuple_bytes=2048)
+        assert schema.tuples_per_block(100 * 1024) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Schema("t", tuple_bytes=0)
+        with pytest.raises(ValueError):
+            Schema("", tuple_bytes=100)
+        with pytest.raises(ValueError, match="does not fit"):
+            Schema("t", tuple_bytes=2048).tuples_per_block(1024)
+
+
+class TestRelation:
+    def _relation(self, n_tuples=500, tuple_bytes=2048):
+        return Relation(
+            "r", Schema("r", tuple_bytes), np.arange(n_tuples), BlockSpec()
+        )
+
+    def test_sizes(self):
+        relation = self._relation(500)
+        assert relation.n_tuples == 500
+        assert relation.tuples_per_block == 50
+        assert relation.n_blocks == pytest.approx(10.0)
+        assert relation.n_blocks_ceil == 10
+        assert relation.size_mb == pytest.approx(500 * 2048 / (1024 * 1024))
+
+    def test_fractional_blocks(self):
+        relation = self._relation(525)
+        assert relation.n_blocks == pytest.approx(10.5)
+        assert relation.n_blocks_ceil == 11
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ValueError, match="no tuples"):
+            self._relation(0)
+
+    def test_as_chunk_holds_everything(self):
+        relation = self._relation(100)
+        chunk = relation.as_chunk()
+        assert chunk.n_tuples == 100
+        np.testing.assert_array_equal(chunk.keys, relation.keys)
+
+    def test_block_range_slices_exactly(self):
+        relation = self._relation(500)
+        piece = relation.block_range(2.0, 3.0)
+        np.testing.assert_array_equal(piece.keys, np.arange(100, 250))
+
+    def test_block_range_out_of_bounds(self):
+        relation = self._relation(500)
+        with pytest.raises(ValueError, match="beyond"):
+            relation.block_range(5.0, 6.0)

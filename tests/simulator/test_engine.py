@@ -1,0 +1,89 @@
+"""Engine behaviour: the clock, run modes, scheduling order."""
+
+import pytest
+
+from repro.simulator.engine import EmptySchedule, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=100.0).now == 100.0
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_peek_shows_next_event_time(self, sim):
+        sim.timeout(7.0)
+        sim.timeout(3.0)
+        assert sim.peek() == pytest.approx(3.0)
+
+    def test_step_on_empty_raises(self, sim):
+        with pytest.raises(EmptySchedule):
+            sim.step()
+
+
+class TestRunModes:
+    def test_run_until_time_stops_clock_there(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == pytest.approx(4.0)
+        sim.run()
+        assert sim.now == pytest.approx(10.0)
+
+    def test_run_until_past_time_rejected(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(ValueError, match="cannot run until"):
+            sim.run(until=0.5)
+
+    def test_run_until_event_returns_value(self, sim):
+        def worker(sim):
+            yield sim.timeout(2.0)
+            return 99
+
+        assert sim.run(sim.process(worker(sim))) == 99
+
+    def test_run_until_unreachable_event_raises(self, sim):
+        orphan = sim.event()  # never triggered
+        sim.timeout(1.0)
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            sim.run(orphan)
+
+    def test_run_drains_everything(self, sim):
+        fired = []
+        for delay in (1.0, 2.0, 3.0):
+            timeout = sim.timeout(delay, delay)
+            timeout.callbacks.append(lambda e: fired.append(e.value))
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.peek() == float("inf")
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        for tag in "abc":
+            timeout = sim.timeout(5.0, tag)
+            timeout.callbacks.append(lambda e: order.append(e.value))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simulation_is_reproducible(self):
+        def trace_run():
+            sim = Simulator()
+            log = []
+
+            def worker(sim, name):
+                for _ in range(3):
+                    yield sim.timeout(1.5)
+                    log.append((sim.now, name))
+
+            sim.process(worker(sim, "x"))
+            sim.process(worker(sim, "y"))
+            sim.run()
+            return log
+
+        assert trace_run() == trace_run()

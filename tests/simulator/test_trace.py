@@ -1,0 +1,117 @@
+"""TimeSeries, IntervalTracker and TraceCollector behaviour."""
+
+import pytest
+
+from repro.simulator.trace import IntervalTracker, TimeSeries, TraceCollector
+
+
+class TestTimeSeries:
+    def test_record_and_lookup(self):
+        series = TimeSeries("m")
+        series.record(0.0, 1.0)
+        series.record(5.0, 3.0)
+        assert series.value_at(0.0) == 1.0
+        assert series.value_at(4.9) == 1.0
+        assert series.value_at(5.0) == 3.0
+        assert series.value_at(100.0) == 3.0
+
+    def test_time_must_not_go_backwards(self):
+        series = TimeSeries("m")
+        series.record(2.0, 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            series.record(1.0, 2.0)
+
+    def test_same_time_overwrites(self):
+        series = TimeSeries("m")
+        series.record(1.0, 5.0)
+        series.record(1.0, 7.0)
+        assert len(series) == 1
+        assert series.value_at(1.0) == 7.0
+
+    def test_lookup_before_first_sample_raises(self):
+        series = TimeSeries("m")
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError, match="precedes"):
+            series.value_at(5.0)
+
+    def test_empty_series_operations_raise(self):
+        series = TimeSeries("m")
+        for operation in (series.max, series.min, series.time_average):
+            with pytest.raises(ValueError, match="empty"):
+                operation()
+        with pytest.raises(ValueError):
+            series.value_at(0.0)
+
+    def test_min_max_points(self):
+        series = TimeSeries("m")
+        for t, v in [(0.0, 2.0), (1.0, 8.0), (2.0, 4.0)]:
+            series.record(t, v)
+        assert series.max() == 8.0
+        assert series.min() == 2.0
+        assert series.points() == [(0.0, 2.0), (1.0, 8.0), (2.0, 4.0)]
+
+    def test_time_average_step_function(self):
+        series = TimeSeries("m")
+        series.record(0.0, 0.0)
+        series.record(2.0, 10.0)  # 0 for 2s, then 10 for 2s
+        assert series.time_average(0.0, 4.0) == pytest.approx(5.0)
+
+    def test_time_average_window_inside_plateau(self):
+        series = TimeSeries("m")
+        series.record(0.0, 4.0)
+        assert series.time_average(1.0, 3.0) == pytest.approx(4.0)
+
+
+class TestIntervalTracker:
+    def test_begin_end_accumulates(self):
+        tracker = IntervalTracker("disk")
+        tracker.begin(1.0)
+        tracker.end(3.0)
+        tracker.begin(5.0)
+        tracker.end(6.0)
+        assert tracker.busy_time() == pytest.approx(3.0)
+
+    def test_double_begin_raises(self):
+        tracker = IntervalTracker("disk")
+        tracker.begin(0.0)
+        with pytest.raises(RuntimeError, match="already open"):
+            tracker.begin(1.0)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(RuntimeError, match="no open interval"):
+            IntervalTracker("disk").end(1.0)
+
+    def test_interval_cannot_end_before_start(self):
+        tracker = IntervalTracker("disk")
+        tracker.begin(5.0)
+        with pytest.raises(ValueError):
+            tracker.end(4.0)
+
+    def test_busy_time_clipping(self):
+        tracker = IntervalTracker("disk")
+        tracker.add(0.0, 10.0)
+        assert tracker.busy_time(4.0, 6.0) == pytest.approx(2.0)
+
+    def test_utilization(self):
+        tracker = IntervalTracker("disk")
+        tracker.add(0.0, 5.0)
+        assert tracker.utilization(0.0, 10.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError, match="empty window"):
+            tracker.utilization(3.0, 3.0)
+
+
+class TestTraceCollector:
+    def test_timeseries_is_memoized(self):
+        trace = TraceCollector()
+        assert trace.timeseries("a") is trace.timeseries("a")
+
+    def test_tracker_is_memoized(self):
+        trace = TraceCollector()
+        assert trace.tracker("t") is trace.tracker("t")
+
+    def test_counters(self):
+        trace = TraceCollector()
+        assert trace.counter("hits") == 0.0
+        trace.count("hits")
+        trace.count("hits", 2.5)
+        assert trace.counter("hits") == pytest.approx(3.5)

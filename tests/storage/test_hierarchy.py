@@ -1,0 +1,47 @@
+"""Storage system assembly."""
+
+import pytest
+
+from repro.storage.hierarchy import StorageConfig, StorageSystem
+
+
+class TestStorageConfig:
+    def test_defaults(self):
+        config = StorageConfig()
+        assert config.n_disks == 2
+        assert config.n_buses == 2
+        assert config.aggregate_disk_rate_mb_s == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageConfig(n_disks=0)
+        with pytest.raises(ValueError):
+            StorageConfig(n_buses=0)
+        with pytest.raises(ValueError):
+            StorageConfig(disk_capacity_blocks=0.0)
+
+
+class TestStorageSystem:
+    def test_builds_expected_topology(self, sim):
+        system = StorageSystem(sim, StorageConfig(n_disks=3, disk_capacity_blocks=300.0))
+        assert len(system.disks) == 3
+        assert system.array.n_disks == 3
+        # Disk capacity is split evenly.
+        assert all(d.capacity_blocks == pytest.approx(100.0) for d in system.disks)
+        # One tape drive per bus end.
+        assert system.drive_r.bus is system.buses[0]
+        assert system.drive_s.bus is system.buses[-1]
+
+    def test_disks_round_robin_over_buses(self, sim):
+        system = StorageSystem(sim, StorageConfig(n_disks=4, n_buses=2))
+        bus_names = [d.bus.name for d in system.disks]
+        assert bus_names == ["scsi0", "scsi1", "scsi0", "scsi1"]
+
+    def test_single_bus_shares_everything(self, sim):
+        system = StorageSystem(sim, StorageConfig(n_buses=1))
+        assert system.drive_r.bus is system.drive_s.bus
+
+    def test_traffic_totals_start_at_zero(self, sim):
+        system = StorageSystem(sim, StorageConfig())
+        assert system.total_disk_traffic_blocks() == 0.0
+        assert system.total_tape_traffic_blocks() == 0.0
