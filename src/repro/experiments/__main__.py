@@ -22,20 +22,19 @@ import argparse
 import dataclasses
 import json
 import math
+import os
 import sys
 import time
 
 from repro.experiments.analytical import figure1, figure2, figure3
-from repro.experiments.assumptions import (
-    disk_positioning_share,
-    locate_model_sensitivity,
-    media_exchange_share,
-)
+from repro.experiments.assumptions import run_assumption_checks
 from repro.experiments.config import TAPE_SPEEDS, ExperimentScale
 from repro.experiments.exp1 import run_experiment1, run_figure4
 from repro.experiments.exp2 import run_experiment2
 from repro.experiments.exp3 import run_experiment3
 from repro.storage.block import BlockSpec
+from repro.sweep import SweepCache, SweepRunner
+from repro.sweep.cache import DEFAULT_CACHE_DIR
 
 ARTIFACTS = ("fig1", "fig2", "fig3", "table3", "fig4", "fig5", "exp3",
              "assumptions", "all")
@@ -71,13 +70,34 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the regenerated artifacts as JSON to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulated sweeps (default 1 = "
+        "in-order, single-process execution)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=DEFAULT_CACHE_DIR,
+        help=f"sweep result cache directory (default {DEFAULT_CACHE_DIR!r})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every sweep point; neither read nor write the cache",
+    )
     return parser
 
 
-def _run_assumptions() -> tuple[str, dict]:
-    exchange = media_exchange_share()
-    positioning = disk_positioning_share()
-    locate = locate_model_sensitivity()
+def _progress(done: int, total: int, note: str) -> None:
+    print(f"  sweep {done}/{total} ({note})", file=sys.stderr)
+
+
+def _run_assumptions(runner: SweepRunner) -> tuple[str, dict]:
+    exchange, positioning, locate = run_assumption_checks(runner)
     text = "\n".join(
         [
             "Section 3.2 assumption checks:",
@@ -105,8 +125,15 @@ def main(argv: list[str] | None = None) -> int:
     block_spec = BlockSpec()
     collected: dict[str, object] = {}
 
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache=cache,
+        progress=_progress if args.jobs > 1 else None,
+    )
+
     for artifact in dict.fromkeys(wanted):  # preserve order, drop dupes
-        started = time.time()
+        started = time.perf_counter()
         if artifact in ("fig1", "fig2", "fig3"):
             result = {"fig1": figure1, "fig2": figure2, "fig3": figure3}[artifact]()
             print(result.render())
@@ -118,32 +145,57 @@ def main(argv: list[str] | None = None) -> int:
                 },
             }
         elif artifact == "table3":
-            result = run_experiment1(scale=scale_exp1)
+            result = run_experiment1(scale=scale_exp1, runner=runner)
             print(result.render())
             collected[artifact] = result.to_dict()
         elif artifact == "fig4":
-            result = run_figure4(scale=scale_exp1)
+            result = run_figure4(scale=scale_exp1, runner=runner)
             print(result.render())
             collected[artifact] = result.to_dict()
         elif artifact == "fig5":
-            result = run_experiment2(scale=scale)
+            result = run_experiment2(scale=scale, runner=runner)
             print(result.render())
             collected[artifact] = result.to_dict()
         elif artifact == "exp3":
-            result = run_experiment3(args.tape, scale=scale)
+            result = run_experiment3(args.tape, scale=scale, runner=runner)
             print(result.render(block_spec))
             collected[artifact] = result.to_dict(block_spec)
         elif artifact == "assumptions":
-            text, data = _run_assumptions()
+            text, data = _run_assumptions(runner)
             print(text)
             collected[artifact] = data
-        print(f"[{artifact} regenerated in {time.time() - started:.1f}s]\n")
+        print(f"[{artifact} regenerated in {time.perf_counter() - started:.1f}s]\n")
 
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(collected, handle, indent=2)
+        _write_json_atomic(args.json, collected)
         print(f"wrote {args.json}")
+    if cache is not None and (cache.hits or cache.stores):
+        print(
+            f"sweep cache: {cache.hits} hits, {cache.misses} misses "
+            f"({cache.stores} stored) in {cache.root}",
+            file=sys.stderr,
+        )
     return 0
+
+
+def _write_json_atomic(path: str, payload: dict) -> None:
+    """Write the artifact JSON via a same-directory temp file + rename.
+
+    A crash mid-write never leaves a truncated artifact, and ``/dev/null``
+    (not renameable) still works as a sink for smoke tests.
+    """
+    if path == os.devnull:
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        return
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # only on a failed dump
+            os.unlink(tmp)
 
 
 if __name__ == "__main__":

@@ -158,3 +158,31 @@ def locate_model_sensitivity(
         dataclasses.replace(BASE_TAPE, locate_s_per_gb=locate_s_per_gb)
     )
     return LocateSensitivity(constant, distance)
+
+
+def run_assumption_checks(
+    runner=None,
+) -> tuple[ExchangeShare, PositioningShare, LocateSensitivity]:
+    """All three Section 3.2 measurements, through the sweep engine.
+
+    Each check is one ``assumption`` sweep task, so checks are cached and
+    parallelized like any other sweep point.
+    """
+    # Imported here, not at module top: repro.sweep's worker tasks import
+    # this module lazily, and keeping both edges lazy makes the absence of
+    # an import cycle obvious.
+    from repro.sweep import SweepRunner, assumption_task
+
+    runner = runner or SweepRunner()
+    results = runner.run(
+        [
+            assumption_task("media_exchange"),
+            assumption_task("disk_positioning"),
+            assumption_task("locate_sensitivity"),
+        ]
+    )
+    return (
+        ExchangeShare(**results[0]["data"]),
+        PositioningShare(**results[1]["data"]),
+        LocateSensitivity(**results[2]["data"]),
+    )

@@ -73,6 +73,15 @@ class ExperimentScale:
         """A paper size in blocks after scaling."""
         return self.block_spec.blocks_from_mb(self.mb(paper_mb))
 
+    def relation_blocks(self, paper_mb: float) -> float:
+        """Exact block count of a relation built by :meth:`relations`.
+
+        Mirrors the generator's tuple-count rounding, so sweep drivers can
+        size memory and disk without materializing the key arrays.
+        """
+        per_block = self.block_spec.block_bytes // self.tuple_bytes
+        return round(self.blocks(paper_mb) * per_block) / per_block
+
     def relations(self, r_mb: float, s_mb: float) -> tuple[Relation, Relation]:
         """Build the R and S relations for given paper sizes in MB."""
         r = uniform_relation(

@@ -17,9 +17,17 @@ import dataclasses
 import math
 import typing
 
-from repro.experiments.config import EXPERIMENT1_JOINS, BASE_TAPE, Experiment1Join, ExperimentScale
-from repro.experiments.harness import run_join
+from repro.core.spec import InfeasibleJoinError
+from repro.experiments.config import (
+    BASE_TAPE,
+    DISK_1996,
+    EXPERIMENT1_JOINS,
+    Experiment1Join,
+    ExperimentScale,
+)
 from repro.experiments.report import format_table
+from repro.sweep import SweepRunner, figure4_task, join_task
+from repro.sweep.serialize import stats_from_dict
 
 
 @dataclasses.dataclass(frozen=True)
@@ -98,22 +106,32 @@ def run_experiment1(
     scale: ExperimentScale | None = None,
     joins: typing.Sequence[Experiment1Join] = EXPERIMENT1_JOINS,
     verify: bool = False,
+    runner: SweepRunner | None = None,
 ) -> Table3Result:
     """Run the four CTT-GH joins of Table 3."""
     scale = scale or ExperimentScale(tuple_bytes=8192)
-    rows = []
-    for join in joins:
-        r, s = scale.relations(join.r_mb, join.s_mb)
-        stats = run_join(
+    runner = runner or SweepRunner()
+    tasks = [
+        join_task(
             "CTT-GH",
-            r,
-            s,
-            memory_blocks=_memory_blocks(scale, join.m_mb, r.n_blocks),
+            join.r_mb,
+            join.s_mb,
+            memory_blocks=_memory_blocks(
+                scale, join.m_mb, scale.relation_blocks(join.r_mb)
+            ),
             disk_blocks=scale.blocks(join.d_mb),
             tape=BASE_TAPE,
+            disk_params=DISK_1996,
             scale=scale,
             verify=verify,
         )
+        for join in joins
+    ]
+    rows = []
+    for join, result in zip(joins, runner.run(tasks)):
+        if result["infeasible"]:
+            raise InfeasibleJoinError(result["error"])
+        stats = stats_from_dict(result["stats"])
         rows.append(
             Table3Row(
                 name=join.name,
@@ -172,34 +190,34 @@ class Figure4Result:
 def run_figure4(
     scale: ExperimentScale | None = None,
     join: Experiment1Join | None = None,
+    runner: SweepRunner | None = None,
 ) -> Figure4Result:
-    """Trace Join III's Step II buffer occupancy (Figure 4)."""
+    """Trace Join III's Step II buffer occupancy (Figure 4).
+
+    The traced run executes as a ``figure4`` sweep task: the buffer traces
+    themselves stay in the worker and only the derived utilization series
+    comes back (and is what the cache stores).
+    """
     scale = scale or ExperimentScale(tuple_bytes=8192)
     join = join or EXPERIMENT1_JOINS[2]  # Join III
-    r, s = scale.relations(join.r_mb, join.s_mb)
-    capacity = scale.blocks(join.d_mb)
-    stats = run_join(
-        "CTT-GH",
-        r,
-        s,
-        memory_blocks=_memory_blocks(scale, join.m_mb, r.n_blocks),
-        disk_blocks=capacity,
+    runner = runner or SweepRunner()
+    task = figure4_task(
+        join.r_mb,
+        join.s_mb,
+        memory_blocks=_memory_blocks(
+            scale, join.m_mb, scale.relation_blocks(join.r_mb)
+        ),
+        disk_blocks=scale.blocks(join.d_mb),
         tape=BASE_TAPE,
+        disk_params=DISK_1996,
         scale=scale,
-        trace_buffers=True,
     )
-    trace = stats.traces
-    total = trace.timeseries("s_buffer.total")
-    even = trace.timeseries("s_buffer.even")
-    odd = trace.timeseries("s_buffer.odd")
-    window = (stats.step1_s, stats.response_s)
-    times, total_pct, even_pct, odd_pct = [], [], [], []
-    for t, value in zip(total.times, total.values):
-        if not window[0] <= t <= window[1]:
-            continue
-        times.append(t)
-        total_pct.append(100.0 * value / capacity)
-        even_pct.append(100.0 * even.value_at(t) / capacity)
-        odd_pct.append(100.0 * odd.value_at(t) / capacity)
-    mean_pct = 100.0 * total.time_average(window[0], window[1]) / capacity
-    return Figure4Result(times, total_pct, even_pct, odd_pct, window, mean_pct)
+    data = runner.run([task])[0]
+    return Figure4Result(
+        data["times_s"],
+        data["total_pct"],
+        data["even_pct"],
+        data["odd_pct"],
+        (data["step2_window_s"][0], data["step2_window_s"][1]),
+        data["mean_total_pct"],
+    )

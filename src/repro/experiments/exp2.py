@@ -13,16 +13,17 @@ import dataclasses
 import math
 import typing
 
-from repro.core.spec import InfeasibleJoinError
 from repro.experiments.config import (
     BASE_TAPE,
+    DISK_1996,
     EXPERIMENT2_D_FRACTIONS,
     EXPERIMENT2_R_MB,
     EXPERIMENT2_S_MB,
     ExperimentScale,
 )
-from repro.experiments.harness import run_join
 from repro.experiments.report import format_series
+from repro.sweep import SweepRunner, join_task
+from repro.sweep.serialize import stats_from_dict
 
 
 @dataclasses.dataclass(frozen=True)
@@ -75,27 +76,35 @@ def run_experiment2(
     s_mb: float = EXPERIMENT2_S_MB,
     r_mb: float = EXPERIMENT2_R_MB,
     methods: typing.Sequence[str] = ("CDT-GH", "CTT-GH"),
+    runner: SweepRunner | None = None,
 ) -> Figure5Result:
     """Sweep D for the two hash methods (Figure 5)."""
     scale = scale or ExperimentScale()
-    r, s = scale.relations(r_mb, s_mb)
+    runner = runner or SweepRunner()
+    r_blocks = scale.relation_blocks(r_mb)
     # M = 0.1|R| as in the paper, clamped to Grace Hash's sqrt(|R|) floor
     # (relation sizes scale linearly, the floor does not).
-    memory = max(0.1 * r.n_blocks, 1.05 * math.sqrt(r.n_blocks))
-    series: dict[str, list[Figure5Point]] = {symbol: [] for symbol in methods}
+    memory = max(0.1 * r_blocks, 1.05 * math.sqrt(r_blocks))
+    tasks, points = [], []
     d_values = []
     for fraction in d_fractions:
         d_mb = scale.mb(r_mb) * fraction
         d_values.append(d_mb)
-        disk = r.n_blocks * fraction
+        disk = r_blocks * fraction
         for symbol in methods:
-            try:
-                stats = run_join(
-                    symbol, r, s, memory_blocks=memory, disk_blocks=disk,
-                    tape=BASE_TAPE, scale=scale,
+            tasks.append(
+                join_task(
+                    symbol, r_mb, s_mb, memory_blocks=memory, disk_blocks=disk,
+                    tape=BASE_TAPE, disk_params=DISK_1996, scale=scale,
                 )
-                point = Figure5Point(d_mb, stats.response_s, stats.r_scans)
-            except InfeasibleJoinError:
-                point = Figure5Point(d_mb, None, None)
-            series[symbol].append(point)
+            )
+            points.append((d_mb, symbol))
+    series: dict[str, list[Figure5Point]] = {symbol: [] for symbol in methods}
+    for (d_mb, symbol), result in zip(points, runner.run(tasks)):
+        if result["infeasible"]:
+            point = Figure5Point(d_mb, None, None)
+        else:
+            stats = stats_from_dict(result["stats"])
+            point = Figure5Point(d_mb, stats.response_s, stats.r_scans)
+        series[symbol].append(point)
     return Figure5Result(tuple(d_values), series, scale.mb(r_mb))

@@ -15,7 +15,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.core.spec import InfeasibleJoinError, JoinStats
+from repro.core.spec import JoinStats
 from repro.experiments.config import (
     DISK_LIGHTNING,
     EXPERIMENT3_D_MB,
@@ -26,8 +26,9 @@ from repro.experiments.config import (
     TAPE_SPEEDS,
     ExperimentScale,
 )
-from repro.experiments.harness import run_join
 from repro.experiments.report import format_series
+from repro.sweep import SweepRunner, join_task
+from repro.sweep.serialize import stats_from_dict
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,28 +104,33 @@ def run_experiment3(
     s_mb: float = EXPERIMENT3_S_MB,
     r_mb: float = EXPERIMENT3_R_MB,
     d_mb: float = EXPERIMENT3_D_MB,
+    runner: SweepRunner | None = None,
 ) -> Experiment3Result:
     """Sweep memory size for the disk–tape methods at one tape speed."""
     if tape_speed not in TAPE_SPEEDS:
         known = ", ".join(sorted(TAPE_SPEEDS))
         raise KeyError(f"unknown tape speed {tape_speed!r}; known: {known}")
     scale = scale or ExperimentScale()
+    runner = runner or SweepRunner()
     tape = TAPE_SPEEDS[tape_speed]
-    r, s = scale.relations(r_mb, s_mb)
+    r_blocks = scale.relation_blocks(r_mb)
     disk = scale.blocks(d_mb)
-    stats: dict[str, list[JoinStats | None]] = {symbol: [] for symbol in methods}
+    tasks, owners = [], []
     for fraction in memory_fractions:
-        memory = fraction * r.n_blocks
+        memory = fraction * r_blocks
         for symbol in methods:
-            try:
-                stats[symbol].append(
-                    run_join(
-                        symbol, r, s, memory_blocks=memory, disk_blocks=disk,
-                        tape=tape, scale=scale, disk_params=DISK_LIGHTNING,
-                    )
+            tasks.append(
+                join_task(
+                    symbol, r_mb, s_mb, memory_blocks=memory, disk_blocks=disk,
+                    tape=tape, disk_params=DISK_LIGHTNING, scale=scale,
                 )
-            except InfeasibleJoinError:
-                stats[symbol].append(None)
+            )
+            owners.append(symbol)
+    stats: dict[str, list[JoinStats | None]] = {symbol: [] for symbol in methods}
+    for symbol, result in zip(owners, runner.run(tasks)):
+        stats[symbol].append(
+            None if result["infeasible"] else stats_from_dict(result["stats"])
+        )
     return Experiment3Result(
         tape_speed, tuple(memory_fractions), stats, scale.mb(r_mb), scale.mb(d_mb)
     )

@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-import heapq
 import typing
+from heapq import heappop, heappush
 
-from repro.simulator.events import AllOf, AnyOf, Event, Timeout
+from repro.simulator.events import PROCESSED, AllOf, AnyOf, Event, Timeout
 from repro.simulator.process import Process, ProcessCrash
 
 #: Scheduling priorities — urgent events (resource bookkeeping) run before
@@ -76,7 +76,7 @@ class Simulator:
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -84,13 +84,12 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event."""
-        try:
-            when, _prio, _seq, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        if not self._queue:
+            raise EmptySchedule()
+        when, _prio, _seq, event = heappop(self._queue)
         self._now = when
         callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
+        event._state = PROCESSED
         for callback in callbacks:
             callback(event)
         if event._exception is not None and not event.defused:
@@ -103,11 +102,12 @@ class Simulator:
 
         Returns the event's value when ``until`` is an event.
         """
+        step = self.step  # hot loop: one bound-method lookup, not millions
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
                 try:
-                    self.step()
+                    step()
                 except EmptySchedule:
                     raise RuntimeError(
                         "simulation ran out of events before the awaited "
@@ -117,8 +117,9 @@ class Simulator:
         horizon = float("inf") if until is None else float(until)
         if horizon != float("inf") and horizon < self._now:
             raise ValueError(f"cannot run until {horizon} < now {self._now}")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        queue = self._queue
+        while queue and queue[0][0] <= horizon:
+            step()
         if horizon != float("inf"):
             self._now = horizon
         return None

@@ -87,6 +87,22 @@ class Event:
     def _mark_processed(self) -> None:
         self._state = PROCESSED
 
+    def _succeed_now(self, value=None) -> None:
+        """Trigger and process synchronously, skipping the event queue.
+
+        Only for completions that are already being dispatched at their
+        correct simulation time (e.g. a transfer-done event inside its
+        completion timer's callback); the waiters run immediately instead
+        of after one more queue round-trip.
+        """
+        if self.triggered:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, []
+        self._state = PROCESSED
+        for callback in callbacks:
+            callback(self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         states = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
         return f"<{type(self).__name__} {states[self._state]} at {id(self):#x}>"

@@ -31,7 +31,10 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._gen = generator
         self._target: Event | None = None
-        # Kick off the generator at the current simulation time.
+        # Kick off the generator through the event queue.  Starting it
+        # synchronously here would be cheaper, but the one-step deferral
+        # is observable: it decides same-time ordering of resource
+        # requests, and with it arm hand-off and positioning charges.
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
         bootstrap.succeed()
@@ -43,6 +46,9 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
+        # Save/restore rather than set/clear, so a resume triggered from
+        # inside another dispatch cannot clobber the active process.
+        previous = self.sim._active_process
         self.sim._active_process = self
         while True:
             try:
@@ -82,4 +88,4 @@ class Process(Event):
             self._target = target
             target.callbacks.append(self._resume)
             break
-        self.sim._active_process = None
+        self.sim._active_process = previous

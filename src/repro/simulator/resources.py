@@ -11,7 +11,7 @@ from __future__ import annotations
 import collections
 import typing
 
-from repro.simulator.events import Event
+from repro.simulator.events import PROCESSED, Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.simulator.engine import Simulator
@@ -42,11 +42,17 @@ class Resource:
         return len(self.users)
 
     def request(self) -> Request:
-        """Claim a slot; the returned event triggers when granted."""
+        """Claim a slot; the returned event triggers when granted.
+
+        An uncontended request is granted synchronously: the event comes
+        back already processed, so a waiting process resumes inline
+        instead of taking a round-trip through the event queue.  Queued
+        requests are granted through the scheduler by :meth:`release`.
+        """
         req = Request(self)
         if len(self.users) < self.capacity and not self.queue:
             self.users.append(req)
-            req.succeed()
+            req._state = PROCESSED
         else:
             self.queue.append(req)
         return req
@@ -107,20 +113,41 @@ class Container:
         return self._level
 
     def put(self, amount: float) -> ContainerEvent:
-        """Add ``amount``; triggers once the container has room."""
+        """Add ``amount``; triggers once the container has room.
+
+        A put that fits right away (and overtakes nobody) completes
+        synchronously — the event comes back already processed — so the
+        common uncontended case costs no trip through the event queue.
+        """
         event = ContainerEvent(self, amount)
         if amount > self.capacity:
             event.fail(ValueError(f"put of {amount} exceeds capacity {self.capacity}"))
+            return event
+        if not self._puts and self._level + amount <= self.capacity + _LEVEL_EPS:
+            self._level = min(self.capacity, self._level + amount)
+            event._state = PROCESSED
+            if self._gets:
+                self._drain()  # the new level may release waiting getters
             return event
         self._puts.append(event)
         self._drain()
         return event
 
     def get(self, amount: float) -> ContainerEvent:
-        """Remove ``amount``; triggers once that much is available."""
+        """Remove ``amount``; triggers once that much is available.
+
+        Like :meth:`put`, an immediately satisfiable get completes
+        synchronously without a scheduler round-trip.
+        """
         event = ContainerEvent(self, amount)
         if amount > self.capacity:
             event.fail(ValueError(f"get of {amount} exceeds capacity {self.capacity}"))
+            return event
+        if not self._gets and self._level >= amount - _LEVEL_EPS:
+            self._level = max(0.0, self._level - amount)
+            event._state = PROCESSED
+            if self._puts:
+                self._drain()  # the freed room may admit waiting putters
             return event
         self._gets.append(event)
         self._drain()
@@ -167,15 +194,35 @@ class Store:
         self._gets: collections.deque[StoreEvent] = collections.deque()
 
     def put(self, item) -> StoreEvent:
-        """Append ``item``; triggers once there is room."""
+        """Append ``item``; triggers once there is room.
+
+        A put with room (and no queued puts to overtake) completes
+        synchronously, skipping the scheduler round-trip.
+        """
         event = StoreEvent(self, item)
+        if not self._puts and len(self.items) < self.capacity:
+            self.items.append(item)
+            event._state = PROCESSED
+            if self._gets:
+                self._drain()  # the new item may release a waiting getter
+            return event
         self._puts.append(event)
         self._drain()
         return event
 
     def get(self) -> StoreEvent:
-        """Pop the oldest item; triggers once one exists."""
+        """Pop the oldest item; triggers once one exists.
+
+        Like :meth:`put`, a get against a non-empty store completes
+        synchronously with the popped item as its value.
+        """
         event = StoreEvent(self)
+        if not self._gets and self.items:
+            event._value = self.items.popleft()
+            event._state = PROCESSED
+            if self._puts:
+                self._drain()  # the freed slot may admit a waiting putter
+            return event
         self._gets.append(event)
         self._drain()
         return event

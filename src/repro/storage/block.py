@@ -143,7 +143,11 @@ def slice_chunks(
     end = offset_blocks + n_blocks
     if end > total_blocks + 1e-9:
         raise ValueError(f"range [{offset_blocks}, {end}) beyond {total_blocks} blocks")
+    # Accumulate raw key slices rather than intermediate DataChunk pieces:
+    # range reads dominate the simulation hot path, and the per-piece
+    # object churn is measurable at experiment scale.
     pieces = []
+    blocks = 0.0
     base = 0.0
     for chunk in chunks:
         lo = max(offset_blocks, base)
@@ -152,8 +156,14 @@ def slice_chunks(
             density = chunk.n_tuples / chunk.n_blocks
             first = tuple_index((lo - base) * density)
             last = tuple_index((hi - base) * density)
-            pieces.append(DataChunk(chunk.keys[first:last], hi - lo))
+            pieces.append(chunk.keys[first:last])
+            blocks += hi - lo
         base += chunk.n_blocks
         if base >= end:
             break
-    return DataChunk.concat(pieces)
+    if not pieces:
+        return DataChunk.empty()
+    out = DataChunk.__new__(DataChunk)
+    out.keys = np.concatenate(pieces)
+    out.n_blocks = blocks
+    return out

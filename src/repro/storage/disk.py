@@ -181,11 +181,15 @@ class Disk:
         yield req
         start = self.sim.now
         try:
+            positioning = 0.0
             if self._last_extent is not extent:
-                yield self.sim.timeout(self.params.positioning_s)
+                positioning = self.params.positioning_s
             self._last_extent = extent
             n_bytes = self.spec.bytes_from_blocks(n_blocks)
-            yield self.bus.transfer(self.params.rate_bytes_s, n_bytes)
+            # Positioning and transfer share one bus event (lead-in).
+            yield self.bus.transfer(
+                self.params.rate_bytes_s, n_bytes, lead_in_s=positioning
+            )
         finally:
             self.busy_s += self.sim.now - start
             self.arm.release(req)
@@ -212,11 +216,11 @@ class Disk:
                 far_positions * self.params.positioning_s
                 + near_positions * self.params.near_positioning_s
             )
-            if delay > 0:
-                yield self.sim.timeout(delay)
             self._last_extent = extent
             n_bytes = self.spec.bytes_from_blocks(n_blocks)
-            yield self.bus.transfer(self.params.rate_bytes_s, n_bytes)
+            yield self.bus.transfer(
+                self.params.rate_bytes_s, n_bytes, lead_in_s=delay
+            )
         finally:
             self.busy_s += self.sim.now - start
             self.arm.release(req)

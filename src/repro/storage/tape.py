@@ -241,10 +241,10 @@ class TapeDrive:
                 and self.sim.now - self._last_op_end > 1e-9
             ):
                 penalty += self.params.stop_start_penalty_s
-            if penalty > 0:
-                yield self.sim.timeout(penalty)
             n_bytes = self.spec.bytes_from_blocks(n_blocks)
-            yield self.bus.transfer(self.params.rate_bytes_s, n_bytes)
+            # Positioning and streaming ride one bus event (lead-in), so a
+            # reposition-then-read costs a single scheduled completion.
+            yield self.bus.transfer(self.params.rate_bytes_s, n_bytes, lead_in_s=penalty)
             self.head_block = target_block if reverse else target_block + n_blocks
         finally:
             self._last_op_end = self.sim.now

@@ -1,0 +1,70 @@
+"""Persistent on-disk JSON cache for sweep results.
+
+Layout: one JSON file per result under ``<root>/<hh>/<fingerprint>.json``
+where ``hh`` is the first two hex digits of the fingerprint (sharding
+keeps directories small at production sweep volume).  Each file stores
+the fingerprint, the task kind and payload (for debuggability), and the
+result dict.  Writes are atomic — a temp file in the same directory is
+``os.replace``-d into place — so a killed run never leaves a torn entry,
+and concurrent writers of the same point are idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+
+class SweepCache:
+    """A content-addressed store of sweep results."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, fingerprint: str) -> pathlib.Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def load(self, fingerprint: str):
+        """Return the cached result dict, or ``None`` on a miss.
+
+        A corrupt or torn entry (e.g. from a version of this code that
+        wrote a different envelope) is treated as a miss, never an error.
+        """
+        path = self._path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            if record.get("fingerprint") != fingerprint or "result" not in record:
+                raise ValueError("malformed cache entry")
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["result"]
+
+    def store(self, fingerprint: str, kind: str, payload, result) -> None:
+        """Persist one result atomically under its fingerprint."""
+        path = self._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "fingerprint": fingerprint,
+            "kind": kind,
+            "payload": payload,
+            "result": result,
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed dump
+                tmp.unlink()
+        self.stores += 1

@@ -1,0 +1,35 @@
+"""Deterministic content hashes for sweep configurations.
+
+A fingerprint covers everything that determines a simulated result: the
+method symbol, the relation generation parameters, the M/D/tape/disk
+knobs, and a code version salt.  Identical payloads hash identically
+across processes and interpreter sessions; any parameter change (or a
+bump of :data:`CODE_VERSION`) yields a different hash and therefore a
+cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: Salt folded into every fingerprint.  Bump whenever a change to the
+#: simulator or the join methods alters simulated results, so stale cache
+#: entries are never served for new code.
+CODE_VERSION = "sweep-v1"
+
+
+def canonical_json(payload) -> str:
+    """Serialize ``payload`` to a canonical JSON string.
+
+    Keys are sorted and separators fixed, so two structurally equal
+    payloads always produce the same byte sequence.  Non-finite floats
+    are rejected — they would not round-trip through the cache.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def task_fingerprint(kind: str, payload, salt: str = CODE_VERSION) -> str:
+    """Content hash of one task: sha256 over the canonical envelope."""
+    blob = canonical_json({"code": salt, "kind": kind, "payload": payload})
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

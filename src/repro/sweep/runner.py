@@ -1,0 +1,103 @@
+"""Sweep execution: cache lookup, process fan-out, ordered collection.
+
+:class:`SweepRunner` takes a list of :class:`~repro.sweep.tasks.SweepTask`
+and returns their results in input order.  Each task is fingerprinted and
+looked up in the cache first; only misses are executed.  With ``jobs=1``
+misses run inline, in input order, in this process — exactly the
+original sequential behaviour.  With ``jobs>1`` misses fan out across a
+:class:`~concurrent.futures.ProcessPoolExecutor`; results are collected
+as they complete but slotted back into input order, so the returned list
+(and every artifact derived from it) is independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import typing
+
+from repro.sweep.cache import SweepCache
+from repro.sweep.fingerprint import CODE_VERSION, task_fingerprint
+from repro.sweep.tasks import SweepTask, execute_task
+
+#: Progress callback signature: (completed, total, note).
+ProgressFn = typing.Callable[[int, int, str], None]
+
+
+class SweepRunner:
+    """Runs sweep tasks through the cache and an optional process pool."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: SweepCache | None = None,
+        progress: ProgressFn | None = None,
+        salt: str = CODE_VERSION,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+        self.salt = salt
+
+    def run(self, tasks: typing.Sequence[SweepTask]) -> list[dict]:
+        """Execute ``tasks``, returning one result dict per task, in order."""
+        total = len(tasks)
+        results: list[dict | None] = [None] * total
+        fingerprints = [
+            task_fingerprint(task.kind, task.payload, salt=self.salt)
+            for task in tasks
+        ]
+
+        pending: list[int] = []
+        for index, fingerprint in enumerate(fingerprints):
+            cached = self.cache.load(fingerprint) if self.cache else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        done = total - len(pending)
+        self._report(done, total, f"{done} cached")
+
+        # Duplicate fingerprints within one submission execute once; the
+        # extra occurrences share the first occurrence's result.
+        leaders: dict[str, int] = {}
+        followers: dict[int, int] = {}
+        unique: list[int] = []
+        for index in pending:
+            leader = leaders.setdefault(fingerprints[index], index)
+            if leader is index:
+                unique.append(index)
+            else:
+                followers[index] = leader
+
+        if self.jobs == 1 or len(unique) <= 1:
+            for index in unique:
+                task = tasks[index]
+                results[index] = execute_task(task.kind, task.payload)
+                self._store(fingerprints[index], task, results[index])
+                done += 1
+                self._report(done, total, task.kind)
+        else:
+            workers = min(self.jobs, len(unique))
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_task, tasks[index].kind, tasks[index].payload): index
+                    for index in unique
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index = futures[future]
+                    results[index] = future.result()
+                    self._store(fingerprints[index], tasks[index], results[index])
+                    done += 1
+                    self._report(done, total, tasks[index].kind)
+
+        for index, leader in followers.items():
+            results[index] = results[leader]
+        return typing.cast("list[dict]", results)
+
+    def _store(self, fingerprint: str, task: SweepTask, result: dict) -> None:
+        if self.cache is not None:
+            self.cache.store(fingerprint, task.kind, task.payload, result)
+
+    def _report(self, done: int, total: int, note: str) -> None:
+        if self.progress is not None:
+            self.progress(done, total, note)

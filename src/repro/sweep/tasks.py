@@ -1,0 +1,286 @@
+"""Sweep task kinds: payload builders and worker-side executors.
+
+A :class:`SweepTask` is a fully self-describing unit of work — a task
+``kind`` plus a JSON-serializable ``payload`` holding generation
+parameters only (never live objects).  Workers rebuild relations from
+the payload's seeded generator parameters, so a task is cheap to ship
+to a worker process and its fingerprint covers everything that
+determines the result.
+
+Task kinds:
+
+* ``join`` — run one method on one configuration, returning serialized
+  :class:`~repro.core.spec.JoinStats` (or an infeasibility marker);
+* ``figure4`` — run one traced CTT-GH join and return the derived disk
+  buffer-utilization series (traces themselves are not cacheable);
+* ``assumption`` — one of the Section 3.2 assumption measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.relational.relation import Relation
+from repro.sweep.serialize import (
+    disk_from_dict,
+    disk_to_dict,
+    scale_from_dict,
+    scale_to_dict,
+    stats_to_dict,
+    tape_from_dict,
+    tape_to_dict,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    # repro.experiments imports the sweep package; resolve the reverse
+    # dependency lazily so either side can be imported first.
+    from repro.experiments.config import ExperimentScale
+    from repro.storage.disk import DiskParameters
+    from repro.storage.tape import TapeDriveParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work: a kind and a JSON-serializable payload."""
+
+    kind: str
+    payload: dict
+
+
+# -- payload builders (caller side) ------------------------------------------
+
+
+def join_task(
+    symbol: str,
+    r_mb: float,
+    s_mb: float,
+    memory_blocks: float,
+    disk_blocks: float,
+    tape: "TapeDriveParameters",
+    disk_params: "DiskParameters",
+    scale: ExperimentScale,
+    verify: bool = False,
+) -> SweepTask:
+    """A task running ``symbol`` on one configuration.
+
+    ``r_mb``/``s_mb`` are paper sizes (pre-scale); the worker regenerates
+    both relations from the scale's seeded generator parameters.
+    """
+    return SweepTask(
+        "join",
+        {
+            "symbol": symbol,
+            "r_mb": r_mb,
+            "s_mb": s_mb,
+            "memory_blocks": memory_blocks,
+            "disk_blocks": disk_blocks,
+            "tape": tape_to_dict(tape),
+            "disk_params": disk_to_dict(disk_params),
+            "scale": scale_to_dict(scale),
+            "verify": verify,
+        },
+    )
+
+
+def figure4_task(
+    r_mb: float,
+    s_mb: float,
+    memory_blocks: float,
+    disk_blocks: float,
+    tape: "TapeDriveParameters",
+    disk_params: "DiskParameters",
+    scale: ExperimentScale,
+) -> SweepTask:
+    """A task tracing one CTT-GH join's Step II buffer utilization."""
+    return SweepTask(
+        "figure4",
+        {
+            "r_mb": r_mb,
+            "s_mb": s_mb,
+            "memory_blocks": memory_blocks,
+            "disk_blocks": disk_blocks,
+            "tape": tape_to_dict(tape),
+            "disk_params": disk_to_dict(disk_params),
+            "scale": scale_to_dict(scale),
+        },
+    )
+
+
+def assumption_task(check: str, **kwargs) -> SweepTask:
+    """A task running one Section 3.2 assumption measurement.
+
+    ``check`` is one of ``media_exchange``, ``disk_positioning`` or
+    ``locate_sensitivity``; keyword arguments override the measurement's
+    defaults and are resolved here so the fingerprint captures them.
+    """
+    if check not in _ASSUMPTION_DEFAULTS:
+        known = ", ".join(sorted(_ASSUMPTION_DEFAULTS))
+        raise KeyError(f"unknown assumption check {check!r}; known: {known}")
+    payload = {"check": check, "kwargs": dict(_ASSUMPTION_DEFAULTS[check]())}
+    payload["kwargs"].update(kwargs)
+    for key, value in payload["kwargs"].items():
+        payload["kwargs"][key] = _encode_param(value)
+    return SweepTask("assumption", payload)
+
+
+def _encode_param(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    return value
+
+
+def _assumption_defaults_media() -> dict:
+    from repro.experiments.config import BASE_TAPE
+
+    return {
+        "relation_mb": 40960.0,
+        "n_volumes": 2,
+        "exchange_s": 30.0,
+        "tape": BASE_TAPE,
+    }
+
+
+def _assumption_defaults_positioning() -> dict:
+    from repro.storage.disk import DiskParameters
+
+    return {"scan_mb": 100.0, "request_blocks": 30.0, "params": DiskParameters()}
+
+
+def _assumption_defaults_locate() -> dict:
+    from repro.experiments.config import ExperimentScale
+
+    return {
+        "locate_s_per_gb": 10.0,
+        "scale": ExperimentScale(scale=0.25, tuple_bytes=8192),
+    }
+
+
+_ASSUMPTION_DEFAULTS = {
+    "media_exchange": _assumption_defaults_media,
+    "disk_positioning": _assumption_defaults_positioning,
+    "locate_sensitivity": _assumption_defaults_locate,
+}
+
+
+# -- executors (worker side) --------------------------------------------------
+
+#: Process-local memo of generated relations, keyed by their generation
+#: parameters.  Sweep points within one experiment share relations, so a
+#: worker regenerates each (R, S) pair once, not once per point.
+_RELATION_MEMO: dict[str, tuple[Relation, Relation]] = {}
+
+
+def _memo_relations(scale: ExperimentScale, r_mb: float, s_mb: float):
+    from repro.sweep.fingerprint import canonical_json
+
+    key = canonical_json({"scale": scale_to_dict(scale), "r": r_mb, "s": s_mb})
+    pair = _RELATION_MEMO.get(key)
+    if pair is None:
+        if len(_RELATION_MEMO) > 8:  # bound worker memory across sweeps
+            _RELATION_MEMO.clear()
+        pair = scale.relations(r_mb, s_mb)
+        _RELATION_MEMO[key] = pair
+    return pair
+
+
+def _run_join_task(payload: dict) -> dict:
+    from repro.core.spec import InfeasibleJoinError
+    from repro.experiments.harness import run_join
+
+    scale = scale_from_dict(payload["scale"])
+    relation_r, relation_s = _memo_relations(scale, payload["r_mb"], payload["s_mb"])
+    try:
+        stats = run_join(
+            payload["symbol"],
+            relation_r,
+            relation_s,
+            memory_blocks=payload["memory_blocks"],
+            disk_blocks=payload["disk_blocks"],
+            tape=tape_from_dict(payload["tape"]),
+            scale=scale,
+            disk_params=disk_from_dict(payload["disk_params"]),
+            verify=payload.get("verify", False),
+        )
+    except InfeasibleJoinError as exc:
+        return {"infeasible": True, "error": str(exc)}
+    return {"infeasible": False, "stats": stats_to_dict(stats)}
+
+
+def _run_figure4_task(payload: dict) -> dict:
+    from repro.experiments.harness import run_join
+
+    scale = scale_from_dict(payload["scale"])
+    relation_r, relation_s = _memo_relations(scale, payload["r_mb"], payload["s_mb"])
+    capacity = payload["disk_blocks"]
+    stats = run_join(
+        "CTT-GH",
+        relation_r,
+        relation_s,
+        memory_blocks=payload["memory_blocks"],
+        disk_blocks=capacity,
+        tape=tape_from_dict(payload["tape"]),
+        scale=scale,
+        disk_params=disk_from_dict(payload["disk_params"]),
+        trace_buffers=True,
+    )
+    trace = stats.traces
+    total = trace.timeseries("s_buffer.total")
+    even = trace.timeseries("s_buffer.even")
+    odd = trace.timeseries("s_buffer.odd")
+    window = (stats.step1_s, stats.response_s)
+    times, total_pct, even_pct, odd_pct = [], [], [], []
+    for t, value in zip(total.times, total.values):
+        if not window[0] <= t <= window[1]:
+            continue
+        times.append(t)
+        total_pct.append(100.0 * value / capacity)
+        even_pct.append(100.0 * even.value_at(t) / capacity)
+        odd_pct.append(100.0 * odd.value_at(t) / capacity)
+    mean_pct = 100.0 * total.time_average(window[0], window[1]) / capacity
+    return {
+        "times_s": times,
+        "total_pct": total_pct,
+        "even_pct": even_pct,
+        "odd_pct": odd_pct,
+        "step2_window_s": list(window),
+        "mean_total_pct": mean_pct,
+    }
+
+
+def _run_assumption_task(payload: dict) -> dict:
+    # Imported lazily: repro.experiments.assumptions imports repro.sweep
+    # at module level, so a top-level import here would be circular.
+    from repro.experiments import assumptions
+
+    kwargs = dict(payload["kwargs"])
+    check = payload["check"]
+    if check == "media_exchange":
+        kwargs["tape"] = tape_from_dict(kwargs["tape"])
+        result = assumptions.media_exchange_share(**kwargs)
+    elif check == "disk_positioning":
+        kwargs["params"] = disk_from_dict(kwargs["params"])
+        result = assumptions.disk_positioning_share(**kwargs)
+    elif check == "locate_sensitivity":
+        kwargs["scale"] = scale_from_dict(kwargs["scale"])
+        result = assumptions.locate_model_sensitivity(**kwargs)
+    else:  # pragma: no cover - builders reject unknown checks
+        raise KeyError(f"unknown assumption check {check!r}")
+    return {"check": check, "data": dataclasses.asdict(result)}
+
+
+_EXECUTORS: dict[str, typing.Callable[[dict], dict]] = {
+    "join": _run_join_task,
+    "figure4": _run_figure4_task,
+    "assumption": _run_assumption_task,
+}
+
+
+def execute_task(kind: str, payload: dict) -> dict:
+    """Run one task to completion; the worker-process entry point."""
+    try:
+        executor = _EXECUTORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_EXECUTORS))
+        raise KeyError(f"unknown task kind {kind!r}; known: {known}") from None
+    return executor(payload)

@@ -1,0 +1,54 @@
+"""On-disk cache semantics: round trips, misses, corruption tolerance."""
+
+import json
+
+from repro.sweep import SweepCache, task_fingerprint
+
+FP = task_fingerprint("join", {"symbol": "TT-GH", "memory_blocks": 4.0})
+
+
+class TestSweepCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.load(FP) is None
+        result = {"infeasible": False, "stats": {"response_s": 12.5}}
+        cache.store(FP, "join", {"symbol": "TT-GH"}, result)
+        assert cache.load(FP) == result
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_entries_are_sharded_by_prefix(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(FP, "join", {}, {"x": 1})
+        path = tmp_path / "cache" / FP[:2] / f"{FP}.json"
+        assert path.is_file()
+        record = json.loads(path.read_text())
+        assert record["fingerprint"] == FP
+        assert record["kind"] == "join"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(FP, "join", {}, {"x": 1})
+        leftovers = [p for p in (tmp_path / "cache").rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(FP, "join", {}, {"x": 1})
+        path = tmp_path / "cache" / FP[:2] / f"{FP}.json"
+        path.write_text("{ torn json")
+        assert cache.load(FP) is None
+
+    def test_wrong_fingerprint_inside_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(FP, "join", {}, {"x": 1})
+        path = tmp_path / "cache" / FP[:2] / f"{FP}.json"
+        record = json.loads(path.read_text())
+        record["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(record))
+        assert cache.load(FP) is None
+
+    def test_store_overwrites_atomically(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(FP, "join", {}, {"x": 1})
+        cache.store(FP, "join", {}, {"x": 2})
+        assert cache.load(FP) == {"x": 2}

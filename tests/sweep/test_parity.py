@@ -1,0 +1,63 @@
+"""Parallel and cached sweeps must reproduce sequential results exactly.
+
+The artifact-parity contract of the sweep engine: for any experiment,
+``--jobs 4`` and a warm cache both yield the same result object (and
+therefore byte-identical JSON artifacts) as the default sequential run.
+These tests exercise the real process pool on small configurations.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.exp2 import run_experiment2
+from repro.experiments.exp3 import run_experiment3
+from repro.sweep import SweepCache, SweepRunner
+
+SCALE = ExperimentScale(scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def fig5_sequential():
+    return run_experiment2(scale=SCALE, d_fractions=(1.5, 3.0))
+
+
+@pytest.fixture(scope="module")
+def exp3_sequential():
+    return run_experiment3(
+        "base", scale=SCALE, memory_fractions=(0.5, 0.9), methods=("TT-GH", "CDT-GH")
+    )
+
+
+class TestJobsParity:
+    def test_fig5_jobs4_matches_sequential(self, fig5_sequential):
+        parallel = run_experiment2(
+            scale=SCALE, d_fractions=(1.5, 3.0), runner=SweepRunner(jobs=4)
+        )
+        assert parallel.to_dict() == fig5_sequential.to_dict()
+
+    def test_exp3_jobs4_matches_sequential(self, exp3_sequential):
+        parallel = run_experiment3(
+            "base",
+            scale=SCALE,
+            memory_fractions=(0.5, 0.9),
+            methods=("TT-GH", "CDT-GH"),
+            runner=SweepRunner(jobs=4),
+        )
+        spec = SCALE.block_spec
+        assert parallel.to_dict(spec) == exp3_sequential.to_dict(spec)
+
+
+class TestCacheParity:
+    def test_warm_cache_matches_and_skips_execution(self, tmp_path, fig5_sequential):
+        cache = SweepCache(tmp_path / "cache")
+        cold = run_experiment2(
+            scale=SCALE, d_fractions=(1.5, 3.0), runner=SweepRunner(cache=cache)
+        )
+        warm_cache = SweepCache(tmp_path / "cache")
+        warm = run_experiment2(
+            scale=SCALE, d_fractions=(1.5, 3.0), runner=SweepRunner(cache=warm_cache)
+        )
+        assert cold.to_dict() == fig5_sequential.to_dict()
+        assert warm.to_dict() == fig5_sequential.to_dict()
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == cache.stores

@@ -1,0 +1,78 @@
+"""Runner semantics: cache short-circuit, dedup, ordering, progress."""
+
+import repro.sweep.runner as runner_mod
+from repro.sweep import SweepCache, SweepRunner, SweepTask, task_fingerprint
+
+
+def tracking_execute(calls):
+    def execute(kind, payload):
+        calls.append(payload["n"])
+        return {"kind": kind, "n": payload["n"]}
+
+    return execute
+
+
+def tasks_for(ns):
+    return [SweepTask("stub", {"n": n}) for n in ns]
+
+
+class TestSweepRunner:
+    def test_results_in_input_order(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute(calls))
+        results = SweepRunner().run(tasks_for([3, 1, 2]))
+        assert [r["n"] for r in results] == [3, 1, 2]
+        assert calls == [3, 1, 2]
+
+    def test_cached_tasks_are_not_executed(self, monkeypatch, tmp_path):
+        calls = []
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute(calls))
+        cache = SweepCache(tmp_path / "cache")
+        tasks = tasks_for([1, 2])
+        fp = task_fingerprint("stub", {"n": 1})
+        cache.store(fp, "stub", {"n": 1}, {"kind": "stub", "n": 1, "cached": True})
+        results = SweepRunner(cache=cache).run(tasks)
+        assert calls == [2]  # only the miss ran
+        assert results[0]["cached"] is True
+        assert results[1] == {"kind": "stub", "n": 2}
+
+    def test_misses_are_stored_for_next_run(self, monkeypatch, tmp_path):
+        calls = []
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute(calls))
+        cache = SweepCache(tmp_path / "cache")
+        tasks = tasks_for([5])
+        SweepRunner(cache=cache).run(tasks)
+        SweepRunner(cache=cache).run(tasks)
+        assert calls == [5]  # second run fully served from cache
+        assert cache.stores == 1
+
+    def test_duplicate_tasks_execute_once(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute(calls))
+        results = SweepRunner().run(tasks_for([7, 7, 7]))
+        assert calls == [7]
+        assert [r["n"] for r in results] == [7, 7, 7]
+
+    def test_single_pending_task_runs_inline_even_with_jobs(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute(calls))
+        results = SweepRunner(jobs=4).run(tasks_for([9]))
+        assert calls == [9]
+        assert results[0]["n"] == 9
+
+    def test_progress_reports_every_completion(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute([]))
+        seen = []
+        runner = SweepRunner(progress=lambda done, total, note: seen.append((done, total)))
+        runner.run(tasks_for([1, 2]))
+        assert seen[0] == (0, 2)  # nothing cached
+        assert seen[-1] == (2, 2)
+
+    def test_custom_salt_changes_cache_identity(self, monkeypatch, tmp_path):
+        calls = []
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute(calls))
+        cache = SweepCache(tmp_path / "cache")
+        tasks = tasks_for([1])
+        SweepRunner(cache=cache, salt="code-a").run(tasks)
+        SweepRunner(cache=cache, salt="code-b").run(tasks)
+        assert calls == [1, 1]  # salt bump invalidated the first entry
