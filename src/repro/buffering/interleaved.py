@@ -193,7 +193,14 @@ class InterleavedDiskBuffer:
         placed = group.pop(0)
         if not group:
             self._pending.get(iteration, {}).pop(tag, None)
-        data = yield from self.array.read_chunk(self.extent, placed)
+        try:
+            data = yield from self.array.read_chunk(self.extent, placed)
+        except BaseException:
+            # A failed read must not lose the chunk: put it back at the
+            # front so a checkpointed restart resumes exactly here.
+            restored = self._pending.setdefault(iteration, {}).setdefault(tag, [])
+            restored.insert(0, placed)
+            raise
         self._occupancy[iteration] -= data.n_blocks
         yield self._free.put(data.n_blocks)
         self._record()
@@ -220,7 +227,14 @@ class InterleavedDiskBuffer:
             total += placed.data.n_blocks
         if not group:
             self._pending.get(iteration, {}).pop(tag, None)
-        data = yield from self.array.read_chunks(self.extent, batch)
+        try:
+            data = yield from self.array.read_chunks(self.extent, batch)
+        except BaseException:
+            # Restore the whole popped batch, in order, ahead of anything
+            # still pending — no chunk is lost to an injected fault.
+            restored = self._pending.setdefault(iteration, {}).setdefault(tag, [])
+            restored[0:0] = batch
+            raise
         self._occupancy[iteration] -= data.n_blocks
         yield self._free.put(data.n_blocks)
         self._record()

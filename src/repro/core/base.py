@@ -19,6 +19,7 @@ from repro.core.requirements import (
     ResourceRequirements,
 )
 from repro.core.spec import InfeasibleJoinError, JoinSpec, JoinStats
+from repro.faults.errors import MediaError, NonRestartableError
 from repro.storage.block import DataChunk
 from repro.storage.tape import TapeDrive, TapeFile
 
@@ -118,6 +119,11 @@ def scan_tape(
     pending = env.sim.process(
         drive.read_range(file, bounds[0][0], bounds[0][1]), name="tape-prefetch"
     )
+    if env.faults is not None:
+        # A consume() fault may abandon the in-flight prefetch; defusing
+        # keeps its own (possibly failed) completion from crashing the
+        # kernel.  Awaited failures still throw into this generator.
+        pending.defused = True
     for index in range(len(bounds)):
         data = yield pending
         if index + 1 < len(bounds):
@@ -125,6 +131,8 @@ def scan_tape(
             pending = env.sim.process(
                 drive.read_range(file, chunk_start, step), name="tape-prefetch"
             )
+            if env.faults is not None:
+                pending.defused = True
         yield from consume(data)
 
 
@@ -204,12 +212,16 @@ def join_buffered_bucket(
     if r_total_blocks <= available + 1e-9:
         r_data = yield from read_r_range(0.0, r_total_blocks)
         env.memory.take(r_data.n_blocks, "R bucket")
-        while True:
-            piece = yield from sbuf.pop_coalesced(iteration, tag, probe)
-            if piece is None:
-                break
-            env.accumulator.add(hash_join(r_data.keys, piece.keys))
-        env.memory.give(r_data.n_blocks)
+        try:
+            while True:
+                piece = yield from sbuf.pop_coalesced(iteration, tag, probe)
+                if piece is None:
+                    break
+                env.accumulator.add(hash_join(r_data.keys, piece.keys))
+        finally:
+            # A media error mid-stream must not leak the bucket's memory:
+            # the checkpointed restart re-takes it on the next attempt.
+            env.memory.give(r_data.n_blocks)
         return False
 
     env.count_overflow_bucket()
@@ -219,16 +231,50 @@ def join_buffered_bucket(
         step = min(piece_blocks, r_total_blocks - offset)
         r_piece = yield from read_r_range(offset, step)
         env.memory.take(r_piece.n_blocks, "R bucket piece")
-        cursor = 0
-        while True:
-            piece, cursor = yield from sbuf.peek_coalesced(iteration, tag, cursor, probe)
-            if piece is None:
-                break
-            env.accumulator.add(hash_join(r_piece.keys, piece.keys))
-        env.memory.give(r_piece.n_blocks)
+        try:
+            cursor = 0
+            while True:
+                piece, cursor = yield from sbuf.peek_coalesced(
+                    iteration, tag, cursor, probe
+                )
+                if piece is None:
+                    break
+                env.accumulator.add(hash_join(r_piece.keys, piece.keys))
+        finally:
+            env.memory.give(r_piece.n_blocks)
         offset += step
     sbuf.discard(iteration, tag)
     return True
+
+
+def guard_overflow_restart(
+    env: JoinEnvironment,
+    key: str,
+    factory: typing.Callable[[], typing.Generator],
+) -> typing.Callable[[], typing.Generator]:
+    """Escalate media errors hitting a bucket's overflow (spill) path.
+
+    The spill path rescans the same S bucket once per R piece through a
+    peek cursor, so its partial work cannot be checkpointed: a restart
+    would re-join pieces already accumulated.  Wrapping the unit factory
+    with this guard turns a :class:`MediaError` raised after the unit
+    entered the spill path into a terminal :class:`NonRestartableError`
+    that :func:`repro.faults.checkpoint.run_unit` does not catch.
+    """
+
+    def guarded() -> typing.Generator:
+        before = env.overflow_buckets
+        try:
+            return (yield from factory())
+        except MediaError as exc:
+            if env.overflow_buckets > before:
+                raise NonRestartableError(
+                    f"unit {key}: media error on the bucket-overflow (spill) "
+                    f"path; its repeated S rescans cannot be checkpointed"
+                ) from exc
+            raise
+
+    return guarded
 
 
 class GraceHashLayout:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from repro.buffering.memory import MemoryManager
 from repro.core.spec import JoinSpec, JoinStats
+from repro.faults.checkpoint import JoinCheckpoint
+from repro.faults.injector import FaultInjector
 from repro.relational.join_core import JoinAccumulator
 from repro.simulator.engine import Simulator
 from repro.simulator.trace import TraceCollector
@@ -45,11 +47,23 @@ class JoinEnvironment:
         self.storage = StorageSystem(self.sim, config)
         self.memory = MemoryManager(spec.memory_blocks)
         self.accumulator = JoinAccumulator()
+        # The injector is installed whenever a plan is present — even one
+        # with all rates zero — so rate-0 parity runs genuinely exercise
+        # the guarded device paths.
+        self.faults = None
+        self.checkpoint = JoinCheckpoint()
+        if spec.fault_plan is not None:
+            self.faults = FaultInjector(self.sim, spec.fault_plan, spec.retry_policy)
+            self.storage.install_faults(self.faults)
 
-        vol_r = TapeVolume("vol_r", spec.size_r_blocks + spec.effective_scratch_r())
+        vol_r = TapeVolume(
+            "vol_r", spec.size_r_blocks + spec.effective_scratch_r(), requirement="T_R"
+        )
         self.file_r = vol_r.create_file("R")
         self.file_r._append(spec.relation_r.as_chunk())
-        vol_s = TapeVolume("vol_s", spec.size_s_blocks + spec.effective_scratch_s())
+        vol_s = TapeVolume(
+            "vol_s", spec.size_s_blocks + spec.effective_scratch_s(), requirement="T_S"
+        )
         self.file_s = vol_s.create_file("S")
         self.file_s._append(spec.relation_s.as_chunk())
         self.storage.library.add_volume(vol_r)
@@ -86,6 +100,8 @@ class JoinEnvironment:
     def mark_step1_done(self) -> None:
         """Record the end of the method's setup phase (Step I)."""
         self.step1_end_s = self.sim.now
+        if self.faults is not None:
+            self.faults.mark_step1()
 
     def count_iteration(self) -> int:
         """Record one Step II iteration; returns its index."""
@@ -130,5 +146,11 @@ class JoinEnvironment:
             scratch_used_s_blocks=vol_s.written_after(self._data_end_s),
             optimum_join_s=spec.optimum_join_s,
             bare_read_s=spec.bare_read_s,
+            fault_events=self.faults.stats.events if self.faults else 0,
+            fault_retries=self.faults.stats.retries if self.faults else 0,
+            fault_recovery_s=self.faults.stats.recovery_s if self.faults else 0.0,
+            fault_delay_s=self.faults.stats.delay_s if self.faults else 0.0,
+            bucket_restarts=self.checkpoint.restarts,
+            restart_lost_s=self.checkpoint.lost_s,
             traces=self.trace,
         )

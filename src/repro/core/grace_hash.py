@@ -23,12 +23,14 @@ from repro.core.base import (
     GraceHashLayout,
     TertiaryJoinMethod,
     align_blocks_to_tuples,
+    guard_overflow_restart,
     join_buffered_bucket,
     scan_tape,
 )
 from repro.core.environment import JoinEnvironment
 from repro.core.requirements import ResourceRequirements
 from repro.core.spec import InfeasibleJoinError, JoinSpec, ceil_div
+from repro.faults.checkpoint import run_unit
 from repro.relational.join_core import hash_join
 
 
@@ -129,45 +131,67 @@ class DiskTapeGraceHash(_GraceHashBase):
                 # Join phase: each R bucket back to memory, S bucket
                 # scanned; oversized (skewed) R buckets spill to
                 # piece-wise probing, re-reading the S bucket per piece.
+                # Each bucket is a checkpointed unit: a media error
+                # restarts only the bucket it hit, not the iteration.
+                iteration = env.iterations
                 for bucket in range(layout.n_buckets):
                     s_extent = s_buckets[bucket]
                     r_extent = r_buckets[bucket]
                     if s_extent.n_blocks <= 1e-9:
                         env.array.discard_content(s_extent)
                         continue
-                    available = env.memory.free_blocks - layout.probe_blocks
-                    if r_extent.n_blocks <= available + 1e-9:
-                        r_data = yield from env.array.read_all(r_extent)
-                        env.memory.take(r_data.n_blocks, "R bucket")
-                        while s_extent.n_blocks > 1e-9:
-                            piece = yield from env.array.read_coalesced(
-                                s_extent, layout.probe_blocks
+
+                    def join_bucket(r_extent=r_extent, s_extent=s_extent):
+                        available = env.memory.free_blocks - layout.probe_blocks
+                        if r_extent.n_blocks <= available + 1e-9:
+                            r_data = yield from env.array.read_all(r_extent)
+                            env.memory.take(r_data.n_blocks, "R bucket")
+                            try:
+                                # read_coalesced consumes only after a
+                                # successful read, so a restart resumes
+                                # with exactly the unjoined S chunks.
+                                while s_extent.n_blocks > 1e-9:
+                                    piece = yield from env.array.read_coalesced(
+                                        s_extent, layout.probe_blocks
+                                    )
+                                    env.accumulator.add(
+                                        hash_join(r_data.keys, piece.keys)
+                                    )
+                            finally:
+                                env.memory.give(r_data.n_blocks)
+                            return
+                        env.count_overflow_bucket()
+                        piece_blocks = max(available, layout.probe_blocks, 1.0)
+                        r_offset = 0.0
+                        while r_offset < r_extent.n_blocks - 1e-9:
+                            step = min(piece_blocks, r_extent.n_blocks - r_offset)
+                            r_piece = yield from env.array.read_range(
+                                r_extent, r_offset, step
                             )
-                            env.accumulator.add(hash_join(r_data.keys, piece.keys))
-                        env.memory.give(r_data.n_blocks)
-                        continue
-                    env.count_overflow_bucket()
-                    piece_blocks = max(available, layout.probe_blocks, 1.0)
-                    r_offset = 0.0
-                    while r_offset < r_extent.n_blocks - 1e-9:
-                        step = min(piece_blocks, r_extent.n_blocks - r_offset)
-                        r_piece = yield from env.array.read_range(
-                            r_extent, r_offset, step
-                        )
-                        env.memory.take(r_piece.n_blocks, "R bucket piece")
-                        s_offset = 0.0
-                        while s_offset < s_extent.n_blocks - 1e-9:
-                            s_step = min(
-                                layout.probe_blocks, s_extent.n_blocks - s_offset
-                            )
-                            piece = yield from env.array.read_range(
-                                s_extent, s_offset, s_step
-                            )
-                            env.accumulator.add(hash_join(r_piece.keys, piece.keys))
-                            s_offset += s_step
-                        env.memory.give(r_piece.n_blocks)
-                        r_offset += step
-                    env.array.discard_content(s_extent)
+                            env.memory.take(r_piece.n_blocks, "R bucket piece")
+                            try:
+                                s_offset = 0.0
+                                while s_offset < s_extent.n_blocks - 1e-9:
+                                    s_step = min(
+                                        layout.probe_blocks,
+                                        s_extent.n_blocks - s_offset,
+                                    )
+                                    piece = yield from env.array.read_range(
+                                        s_extent, s_offset, s_step
+                                    )
+                                    env.accumulator.add(
+                                        hash_join(r_piece.keys, piece.keys)
+                                    )
+                                    s_offset += s_step
+                            finally:
+                                env.memory.give(r_piece.n_blocks)
+                            r_offset += step
+                        env.array.discard_content(s_extent)
+
+                    key = f"II.{iteration}.b{bucket}"
+                    yield from run_unit(
+                        env, key, guard_overflow_restart(env, key, join_bucket)
+                    )
                 env.count_r_scan()
                 env.count_iteration()
         for extent in r_buckets + s_buckets:
@@ -233,10 +257,17 @@ class ConcurrentGraceHash(_GraceHashBase):
                     if not sbuf.has_pending(iteration, bucket):
                         continue
                     r_extent = r_buckets[bucket]
-                    yield from join_buffered_bucket(
-                        env, layout, sbuf, iteration, bucket,
-                        lambda off, n, e=r_extent: env.array.read_range(e, off, n),
-                        r_extent.n_blocks,
+
+                    def join_bucket(i=iteration, b=bucket, e=r_extent):
+                        return (yield from join_buffered_bucket(
+                            env, layout, sbuf, i, b,
+                            lambda off, n, e=e: env.array.read_range(e, off, n),
+                            e.n_blocks,
+                        ))
+
+                    key = f"II.{iteration}.b{bucket}"
+                    yield from run_unit(
+                        env, key, guard_overflow_restart(env, key, join_bucket)
                     )
                 env.count_r_scan()
                 env.count_iteration()

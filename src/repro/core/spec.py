@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import typing
 
 from repro.relational.join_core import JoinResult
 from repro.relational.relation import Relation
@@ -19,6 +20,10 @@ from repro.simulator.trace import TraceCollector
 from repro.storage.block import BlockSpec
 from repro.storage.disk import DiskParameters
 from repro.storage.tape import TapeDriveParameters
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.faults.policy import RetryPolicy
 
 
 class InfeasibleJoinError(RuntimeError):
@@ -56,6 +61,12 @@ class JoinSpec:
     #: account in X_D" — i.e. X_D is derated; 0.0 models the default
     #: pipelined output that costs nothing.
     output_disk_fraction: float = 0.0
+    #: Optional fault injection (``repro.faults``).  None keeps the
+    #: original fault-free devices; a plan — even one with all rates
+    #: zero — installs the guarded device paths.
+    fault_plan: "FaultPlan | None" = None
+    #: Recovery policy for injected faults (None = RetryPolicy defaults).
+    retry_policy: "RetryPolicy | None" = None
 
     def __post_init__(self):
         if self.relation_r.spec != self.relation_s.spec:
@@ -180,6 +191,18 @@ class JoinStats:
     scratch_used_s_blocks: float
     optimum_join_s: float
     bare_read_s: float
+    #: Injected faults that fired (errors, stalls, bus glitches).
+    fault_events: int = 0
+    #: Failed device operations recovered by retry.
+    fault_retries: int = 0
+    #: Simulated seconds spent on failed attempts, detection and backoff.
+    fault_recovery_s: float = 0.0
+    #: Simulated seconds of pure fault latency (stalls, bus glitches).
+    fault_delay_s: float = 0.0
+    #: Checkpointed Step II units restarted after a media error.
+    bucket_restarts: int = 0
+    #: Simulated seconds of unit work discarded by those restarts.
+    restart_lost_s: float = 0.0
     traces: TraceCollector | None = None
 
     @property
@@ -240,6 +263,12 @@ class JoinStats:
             "scratch_used_s_blocks": self.scratch_used_s_blocks,
             "relative_cost": self.relative_cost,
             "join_overhead": self.join_overhead,
+            "fault_events": self.fault_events,
+            "fault_retries": self.fault_retries,
+            "fault_recovery_s": self.fault_recovery_s,
+            "fault_delay_s": self.fault_delay_s,
+            "bucket_restarts": self.bucket_restarts,
+            "restart_lost_s": self.restart_lost_s,
         }
 
 

@@ -29,12 +29,14 @@ from repro.core.base import (
     GraceHashLayout,
     TertiaryJoinMethod,
     align_blocks_to_tuples,
+    guard_overflow_restart,
     join_buffered_bucket,
     scan_tape,
 )
 from repro.core.environment import JoinEnvironment
 from repro.core.requirements import ResourceRequirements
 from repro.core.spec import JoinSpec, ceil_div
+from repro.faults.checkpoint import run_unit
 from repro.relational.hashing import bucket_ids
 from repro.relational.join_core import hash_join
 from repro.relational.relation import Relation
@@ -271,12 +273,19 @@ class ConcurrentTapeTapeGraceHash(_TapeTapeBase):
                         continue
                     files = r_files[bucket]
                     total_blocks = sum(f.n_blocks for f in files)
-                    yield from join_buffered_bucket(
-                        env, layout, sbuf, iteration, bucket,
-                        lambda off, n, fs=files: read_files_range(
-                            env.drive_r, fs, off, n
-                        ),
-                        total_blocks,
+
+                    def join_bucket(i=iteration, b=bucket, fs=files, t=total_blocks):
+                        return (yield from join_buffered_bucket(
+                            env, layout, sbuf, i, b,
+                            lambda off, n, fs=fs: read_files_range(
+                                env.drive_r, fs, off, n
+                            ),
+                            t,
+                        ))
+
+                    key = f"II.{iteration}.b{bucket}"
+                    yield from run_unit(
+                        env, key, guard_overflow_restart(env, key, join_bucket)
                     )
                 env.count_r_scan()
                 env.count_iteration()
@@ -335,29 +344,62 @@ class TapeTapeGraceHash(_TapeTapeBase):
         def fetch_r_bucket(bucket):
             pieces = []
             taken = 0.0
-            for tape_file in r_files[bucket]:
-                data = yield from env.drive_s.read_file(tape_file)
-                env.memory.take(data.n_blocks, "R bucket")
-                taken += data.n_blocks
-                pieces.append(data.keys)
+            try:
+                for tape_file in r_files[bucket]:
+                    data = yield from env.drive_s.read_file(tape_file)
+                    env.memory.take(data.n_blocks, "R bucket")
+                    taken += data.n_blocks
+                    pieces.append(data.keys)
+            except BaseException:
+                env.memory.give(taken)
+                raise
             return np.concatenate(pieces), taken
 
-        prefetch = None
+        pending: dict[int, object] = {}
+
+        def spawn(bucket):
+            proc = env.sim.process(fetch_r_bucket(bucket), name="prefetch-R")
+            if env.faults is not None:
+                # If the bucket's unit restarts before awaiting this
+                # prefetch, its failure must not crash the kernel;
+                # awaiting still rethrows into the unit.
+                proc.defused = True
+            pending[bucket] = proc
+            return proc
+
         if buckets:
-            prefetch = env.sim.process(fetch_r_bucket(buckets[0]), name="prefetch-R")
+            spawn(buckets[0])
         for index, bucket in enumerate(buckets):
-            r_keys, taken = yield prefetch
-            if index + 1 < len(buckets):
-                prefetch = env.sim.process(
-                    fetch_r_bucket(buckets[index + 1]), name="prefetch-R"
-                )
-            for tape_file in s_files[bucket]:
-                offset = 0.0
-                while offset < tape_file.n_blocks - 1e-9:
-                    step = min(layout.probe_blocks, tape_file.n_blocks - offset)
-                    piece = yield from env.drive_r.read_range(tape_file, offset, step)
-                    env.accumulator.add(hash_join(r_keys, piece.keys))
-                    offset += step
-            env.memory.give(taken)
+            # The S-side stream is read non-consumingly from tape, so a
+            # restarted unit must not re-accumulate pieces it already
+            # joined: progress records, per S fragment, how far the probe
+            # stream got; r_keys are identical across attempts.
+            progress: dict[int, float] = {}
+
+            def join_bucket(index=index, bucket=bucket, progress=progress):
+                proc = pending.pop(bucket, None)
+                if proc is None:
+                    proc = spawn(bucket)
+                    pending.pop(bucket, None)
+                r_keys, taken = yield proc
+                if index + 1 < len(buckets) and buckets[index + 1] not in pending:
+                    spawn(buckets[index + 1])
+                try:
+                    for file_index, tape_file in enumerate(s_files[bucket]):
+                        offset = progress.get(file_index, 0.0)
+                        while offset < tape_file.n_blocks - 1e-9:
+                            step = min(
+                                layout.probe_blocks, tape_file.n_blocks - offset
+                            )
+                            piece = yield from env.drive_r.read_range(
+                                tape_file, offset, step
+                            )
+                            env.accumulator.add(hash_join(r_keys, piece.keys))
+                            offset += step
+                            progress[file_index] = offset
+                finally:
+                    env.memory.give(taken)
+
+            yield from run_unit(env, f"II.b{bucket}", join_bucket)
             env.count_iteration()
         env.count_r_scan()

@@ -32,12 +32,13 @@ from repro.experiments.config import TAPE_SPEEDS, ExperimentScale
 from repro.experiments.exp1 import run_experiment1, run_figure4
 from repro.experiments.exp2 import run_experiment2
 from repro.experiments.exp3 import run_experiment3
+from repro.experiments.exp4_faults import run_experiment4
 from repro.storage.block import BlockSpec
 from repro.sweep import SweepCache, SweepRunner
 from repro.sweep.cache import DEFAULT_CACHE_DIR
 
 ARTIFACTS = ("fig1", "fig2", "fig3", "table3", "fig4", "fig5", "exp3",
-             "assumptions", "all")
+             "assumptions", "exp4", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -88,6 +89,22 @@ def _parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="recompute every sweep point; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.01,
+        metavar="P",
+        help="maximum per-operation soft-error rate swept by exp4 "
+        "(default 0.01; the sweep covers 0, P/100, P/10, P)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of exp4's fault plans; a fixed seed replays the exact "
+        "same fault sequence on every run (default 0)",
     )
     return parser
 
@@ -164,6 +181,15 @@ def main(argv: list[str] | None = None) -> int:
             text, data = _run_assumptions(runner)
             print(text)
             collected[artifact] = data
+        elif artifact == "exp4":
+            result = run_experiment4(
+                scale=scale,
+                max_rate=args.fault_rate,
+                fault_seed=args.fault_seed,
+                runner=runner,
+            )
+            print(result.render())
+            collected[artifact] = result.to_dict()
         print(f"[{artifact} regenerated in {time.perf_counter() - started:.1f}s]\n")
 
     if args.json:

@@ -107,8 +107,16 @@ def run_experiment1(
     joins: typing.Sequence[Experiment1Join] = EXPERIMENT1_JOINS,
     verify: bool = False,
     runner: SweepRunner | None = None,
+    fault_plan=None,
+    retry_policy=None,
 ) -> Table3Result:
-    """Run the four CTT-GH joins of Table 3."""
+    """Run the four CTT-GH joins of Table 3.
+
+    ``fault_plan``/``retry_policy`` thread fault injection through the
+    sweep; a rate-0 plan exercises the guarded device paths and must
+    reproduce the fault-free artifact byte for byte (the parity tests
+    hold the repo to that).
+    """
     scale = scale or ExperimentScale(tuple_bytes=8192)
     runner = runner or SweepRunner()
     tasks = [
@@ -124,6 +132,8 @@ def run_experiment1(
             disk_params=DISK_1996,
             scale=scale,
             verify=verify,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
         for join in joins
     ]

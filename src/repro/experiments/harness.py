@@ -26,12 +26,16 @@ def run_join(
     disk_params: DiskParameters = DISK_1996,
     trace_buffers: bool = False,
     verify: bool = False,
+    fault_plan=None,
+    retry_policy=None,
 ) -> JoinStats:
     """Run one method on one configuration; optionally verify the output.
 
     Verification recomputes the join in memory and compares cardinality
     and checksum — expensive for large relations, so experiments sample
     it rather than verifying every point (tests verify exhaustively).
+    Passing a ``fault_plan`` (``repro.faults``) runs the join with device
+    fault injection and retry/restart recovery.
     """
     scale = scale or ExperimentScale()
     spec = JoinSpec(
@@ -44,6 +48,8 @@ def run_join(
         tape_params_r=tape,
         tape_params_s=tape,
         trace_buffers=trace_buffers,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     stats = method_by_symbol(symbol).run(spec)
     if verify:

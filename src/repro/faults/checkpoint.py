@@ -1,0 +1,77 @@
+"""Checkpoint/restart for Grace Hash joins.
+
+Step II of every Grace Hash method is a sequence of independent bucket
+joins.  Each bucket join runs as one *unit* through :func:`run_unit`:
+when a :class:`~repro.faults.errors.MediaError` escapes the unit, the
+unit alone is restarted — already-completed buckets are never redone, so
+a mid-join media failure costs one bucket's work, not the whole join.
+
+Restart safety relies on the consume-on-read discipline of the buffer
+layer: pieces of an S bucket are popped (and their space released) only
+*after* their disk read succeeds, so a restarted unit resumes with
+exactly the unconsumed remainder and never double-joins a piece.  The
+skewed-bucket spill path violates that discipline (it re-reads buffered
+data with a cursor); units detect it and escalate via
+:class:`~repro.faults.errors.NonRestartableError` instead of replaying.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.faults.errors import MediaError, UnitRestartLimitError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.environment import JoinEnvironment
+
+#: Restarts allowed per unit before the join gives up.
+MAX_UNIT_RESTARTS = 5
+
+
+@dataclasses.dataclass
+class JoinCheckpoint:
+    """Per-join record of completed units and restart costs."""
+
+    #: Keys of units that ran to completion.
+    completed: set = dataclasses.field(default_factory=set)
+    #: Unit restarts performed over the whole join.
+    restarts: int = 0
+    #: Simulated seconds of unit work discarded by restarts.
+    lost_s: float = 0.0
+
+
+def run_unit(
+    env: "JoinEnvironment",
+    key: str,
+    factory: typing.Callable[[], typing.Generator],
+    max_restarts: int = MAX_UNIT_RESTARTS,
+) -> typing.Generator:
+    """Run one restartable unit of join work.
+
+    ``factory`` builds a fresh generator per attempt.  On a
+    :class:`MediaError` the elapsed attempt time is recorded as lost and
+    the unit re-runs, up to ``max_restarts`` times.  Without a fault
+    layer installed the unit body runs exactly once with no wrapping —
+    the zero-rate code path stays byte-identical.
+    """
+    checkpoint = env.checkpoint
+    if env.faults is None:
+        return (yield from factory())
+    attempt = 0
+    while True:
+        started = env.sim.now
+        try:
+            result = yield from factory()
+        except MediaError as exc:
+            attempt += 1
+            checkpoint.restarts += 1
+            checkpoint.lost_s += env.sim.now - started
+            if attempt > max_restarts:
+                raise UnitRestartLimitError(
+                    f"unit {key!r} failed {attempt} times "
+                    f"(limit {max_restarts}); giving up: {exc}"
+                ) from exc
+            continue
+        checkpoint.completed.add(key)
+        return result

@@ -25,6 +25,7 @@ a reposition-then-stream tape request costs one event, not two.
 from __future__ import annotations
 
 import math
+import typing
 
 from repro.simulator.engine import Simulator
 from repro.simulator.events import Event
@@ -80,6 +81,9 @@ class Bus:
         self._fast = True
         #: Sum of nominal rates over all flows (lead-ins included).
         self._nominal_sum = 0.0
+        #: Optional fault hook (``repro.faults``): called once per transfer
+        #: with this bus, returns extra lead-in seconds (a bus glitch).
+        self.fault_hook: typing.Callable[["Bus"], float] | None = None
 
     @property
     def active_transfers(self) -> int:
@@ -102,6 +106,8 @@ class Bus:
             raise ValueError(f"transfer size must be >= 0, got {n_bytes}")
         if lead_in_s < 0:
             raise ValueError(f"lead-in must be >= 0, got {lead_in_s}")
+        if self.fault_hook is not None:
+            lead_in_s += self.fault_hook(self)
         done = Event(self.sim)
         self.bytes_moved += n_bytes
         if n_bytes <= _EPS_BYTES:

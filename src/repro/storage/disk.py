@@ -134,6 +134,9 @@ class Disk:
         self.busy_s = 0.0
         self.extents: dict[str, DiskExtent] = {}
         self._last_extent: DiskExtent | None = None
+        #: Optional fault injector (``repro.faults``); None = fault-free,
+        #: in which case every I/O takes the original unguarded path.
+        self.faults = None
 
     @property
     def free_blocks(self) -> float:
@@ -164,8 +167,10 @@ class Disk:
     def _reserve(self, n_blocks: float) -> None:
         if self.used_blocks + n_blocks > self.capacity_blocks + 1e-9:
             raise DiskFullError(
-                f"{self.name}: write of {n_blocks:.1f} blocks exceeds capacity "
-                f"({self.used_blocks:.1f}/{self.capacity_blocks:.1f} used)"
+                f"disk {self.name}: write of {n_blocks:.1f} blocks needs more "
+                f"than the {self.free_blocks:.1f} blocks free "
+                f"({self.used_blocks:.1f}/{self.capacity_blocks:.1f} in use); "
+                f"the join's disk budget (Table 2 requirement D) is exhausted"
             )
         self.used_blocks += n_blocks
         self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
@@ -175,7 +180,9 @@ class Disk:
 
     # -- I/O operations (generators; use with ``yield from``) -----------------
 
-    def _io(self, extent: DiskExtent, n_blocks: float) -> typing.Generator:
+    def _io(
+        self, extent: DiskExtent, n_blocks: float, kind: str = "disk-read"
+    ) -> typing.Generator:
         """Hold the arm, pay positioning if not sequential, then transfer."""
         req = self.arm.request()
         yield req
@@ -187,9 +194,15 @@ class Disk:
             self._last_extent = extent
             n_bytes = self.spec.bytes_from_blocks(n_blocks)
             # Positioning and transfer share one bus event (lead-in).
-            yield self.bus.transfer(
-                self.params.rate_bytes_s, n_bytes, lead_in_s=positioning
-            )
+            if self.faults is None:
+                yield self.bus.transfer(
+                    self.params.rate_bytes_s, n_bytes, lead_in_s=positioning
+                )
+            else:
+                yield from self.faults.guarded_transfer(
+                    self.bus, self.params.rate_bytes_s, n_bytes, positioning,
+                    self.name, kind,
+                )
         finally:
             self.busy_s += self.sim.now - start
             self.arm.release(req)
@@ -200,6 +213,7 @@ class Disk:
         n_blocks: float,
         far_positions: int,
         near_positions: int,
+        kind: str = "disk-read",
     ) -> typing.Generator:
         """One arm hold covering a burst of small requests.
 
@@ -218,9 +232,15 @@ class Disk:
             )
             self._last_extent = extent
             n_bytes = self.spec.bytes_from_blocks(n_blocks)
-            yield self.bus.transfer(
-                self.params.rate_bytes_s, n_bytes, lead_in_s=delay
-            )
+            if self.faults is None:
+                yield self.bus.transfer(
+                    self.params.rate_bytes_s, n_bytes, lead_in_s=delay
+                )
+            else:
+                yield from self.faults.guarded_transfer(
+                    self.bus, self.params.rate_bytes_s, n_bytes, delay,
+                    self.name, kind,
+                )
         finally:
             self.busy_s += self.sim.now - start
             self.arm.release(req)
@@ -229,7 +249,7 @@ class Disk:
         """Append ``chunk`` to ``extent`` (reserves space up front)."""
         self._reserve(chunk.n_blocks)
         self.write_blocks += chunk.n_blocks
-        yield from self._io(extent, chunk.n_blocks)
+        yield from self._io(extent, chunk.n_blocks, "disk-write")
         extent._append(chunk)
 
     def read_all(self, extent: DiskExtent, consume: bool = False) -> typing.Generator:

@@ -217,16 +217,36 @@ class DiskArray:
 
     # -- I/O (generators; use with ``yield from``) --------------------------------
 
-    def _parallel_io(self, extent: StripedExtent, parts: list[tuple[Disk, float]]):
+    def _defuse_if_faulty(self, procs: list) -> None:
+        """Pre-defuse concurrent I/O processes when fault injection is on.
+
+        ``all_of`` fails on the *first* failing child; a second concurrent
+        failure would then be an unawaited failed event and crash the
+        kernel instead of reaching the join's recovery path.  Fault-free
+        runs skip this, keeping the seed behaviour bit-identical.
+        """
+        if any(disk.faults is not None for disk in self.disks):
+            for proc in procs:
+                proc.defused = True
+
+    def _parallel_io(
+        self,
+        extent: StripedExtent,
+        parts: list[tuple[Disk, float]],
+        kind: str = "disk-read",
+    ) -> typing.Generator:
         """Run one I/O on each (disk, blocks) pair concurrently."""
         if len(parts) == 1:
             disk, blocks = parts[0]
-            yield from disk._io(extent._shadows[disk], blocks)
+            yield from disk._io(extent._shadows[disk], blocks, kind)
             return
         procs = [
-            self.sim.process(disk._io(extent._shadows[disk], blocks), name=f"io@{disk.name}")
+            self.sim.process(
+                disk._io(extent._shadows[disk], blocks, kind), name=f"io@{disk.name}"
+            )
             for disk, blocks in parts
         ]
+        self._defuse_if_faulty(procs)
         yield self.sim.all_of(procs)
 
     def write(self, extent: StripedExtent, chunk: DataChunk) -> typing.Generator:
@@ -235,7 +255,7 @@ class DiskArray:
         for disk, blocks in placement:
             disk._reserve(blocks)
             disk.write_blocks += blocks
-        yield from self._parallel_io(extent, placement)
+        yield from self._parallel_io(extent, placement, "disk-write")
         extent.chunks.append(_PlacedChunk(chunk, placement, extent))
         extent.n_blocks += chunk.n_blocks
 
@@ -265,11 +285,12 @@ class DiskArray:
             shadow = items[-1][0]._shadows[disk]
             procs.append(
                 self.sim.process(
-                    disk._burst_io(shadow, total, 1, len(items) - 1),
+                    disk._burst_io(shadow, total, 1, len(items) - 1, "disk-write"),
                     name=f"burst@{disk.name}",
                 )
             )
         if procs:
+            self._defuse_if_faulty(procs)
             yield self.sim.all_of(procs)
         placed_chunks = []
         for extent, chunk, placement in placed_by_write:
@@ -300,12 +321,13 @@ class DiskArray:
                 disk.read_blocks += blocks
         procs = [
             self.sim.process(
-                disk._burst_io(extent._shadows[disk], total, 1, count - 1),
+                disk._burst_io(extent._shadows[disk], total, 1, count - 1, "disk-read"),
                 name=f"burst@{disk.name}",
             )
             for disk, (total, count) in per_disk.items()
         ]
         if procs:
+            self._defuse_if_faulty(procs)
             yield self.sim.all_of(procs)
         data = DataChunk.concat([placed.data for placed in placed_list])
         if consume:

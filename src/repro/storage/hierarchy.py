@@ -89,6 +89,11 @@ class StorageSystem:
         """The system's block geometry."""
         return self.config.spec
 
+    def install_faults(self, injector) -> None:
+        """Attach a :class:`~repro.faults.injector.FaultInjector` to every
+        bus, disk and tape drive of this system."""
+        injector.attach(self)
+
     def total_disk_traffic_blocks(self) -> float:
         """Blocks read plus written across all disks."""
         return self.array.read_blocks + self.array.write_blocks

@@ -118,11 +118,14 @@ class TapeFile:
 class TapeVolume:
     """One tape cartridge: an ordered sequence of files."""
 
-    def __init__(self, name: str, capacity_blocks: float):
+    def __init__(self, name: str, capacity_blocks: float, requirement: str | None = None):
         if capacity_blocks <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_blocks}")
         self.name = name
         self.capacity_blocks = float(capacity_blocks)
+        #: Table 2 scratch symbol this volume's capacity enforces
+        #: ("T_R"/"T_S"); names the violated requirement when it fills up.
+        self.requirement = requirement
         self.files: list[TapeFile] = []
         self._by_name: dict[str, TapeFile] = {}
 
@@ -186,6 +189,9 @@ class TapeDrive:
         self.repositions = 0
         self.busy_s = 0.0
         self._last_op_end = 0.0
+        #: Optional fault injector (``repro.faults``); None = fault-free,
+        #: in which case every I/O takes the original unguarded path.
+        self.faults = None
 
     # -- media handling ---------------------------------------------------------
 
@@ -210,7 +216,9 @@ class TapeDrive:
 
     # -- I/O operations (generators; use with ``yield from``) ---------------------
 
-    def _op(self, target_block: float, n_blocks: float) -> typing.Generator:
+    def _op(
+        self, target_block: float, n_blocks: float, kind: str = "tape-read"
+    ) -> typing.Generator:
         """Hold the drive, reposition if needed, then stream ``n_blocks``.
 
         A drive with READ REVERSE serves a request whose *end* is at the
@@ -244,7 +252,15 @@ class TapeDrive:
             n_bytes = self.spec.bytes_from_blocks(n_blocks)
             # Positioning and streaming ride one bus event (lead-in), so a
             # reposition-then-read costs a single scheduled completion.
-            yield self.bus.transfer(self.params.rate_bytes_s, n_bytes, lead_in_s=penalty)
+            if self.faults is None:
+                yield self.bus.transfer(
+                    self.params.rate_bytes_s, n_bytes, lead_in_s=penalty
+                )
+            else:
+                yield from self.faults.guarded_transfer(
+                    self.bus, self.params.rate_bytes_s, n_bytes, penalty,
+                    self.name, kind,
+                )
             self.head_block = target_block if reverse else target_block + n_blocks
         finally:
             self._last_op_end = self.sim.now
@@ -272,12 +288,19 @@ class TapeDrive:
                 "tape media is append-only"
             )
         if chunk.n_blocks > volume.free_blocks + 1e-9:
+            requirement = (
+                f"the Table 2 scratch requirement {volume.requirement} is violated"
+                if volume.requirement
+                else "the volume is full"
+            )
             raise TapeFullError(
-                f"{volume.name}: append of {chunk.n_blocks:.1f} blocks exceeds "
-                f"remaining capacity {volume.free_blocks:.1f}"
+                f"volume {volume.name}: append of {chunk.n_blocks:.1f} blocks to "
+                f"file {file.name!r} needs more than the {volume.free_blocks:.1f} "
+                f"blocks available (capacity {volume.capacity_blocks:.1f}); "
+                f"{requirement}"
             )
         self.write_blocks += chunk.n_blocks
-        yield from self._op(file.end_block, chunk.n_blocks)
+        yield from self._op(file.end_block, chunk.n_blocks, "tape-write")
         file._append(chunk)
 
     def rewind(self) -> typing.Generator:

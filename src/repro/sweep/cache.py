@@ -27,6 +27,7 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.quarantined = 0
 
     def _path(self, fingerprint: str) -> pathlib.Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.json"
@@ -34,8 +35,11 @@ class SweepCache:
     def load(self, fingerprint: str):
         """Return the cached result dict, or ``None`` on a miss.
 
-        A corrupt or torn entry (e.g. from a version of this code that
-        wrote a different envelope) is treated as a miss, never an error.
+        A missing entry is a plain miss.  A corrupt or torn entry (e.g.
+        from a version of this code that wrote a different envelope, or a
+        partial write by a killed process) is also a miss, never an error
+        — but the offending file is moved to ``<root>/quarantine/`` for
+        post-mortem rather than being re-parsed on every future lookup.
         """
         path = self._path(fingerprint)
         try:
@@ -43,11 +47,25 @@ class SweepCache:
                 record = json.load(handle)
             if record.get("fingerprint") != fingerprint or "result" not in record:
                 raise ValueError("malformed cache entry")
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return record["result"]
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a corrupt entry out of the lookup path."""
+        dest_dir = self.root / "quarantine"
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
+        except OSError:  # pragma: no cover - concurrent removal is fine
+            return
+        self.quarantined += 1
 
     def store(self, fingerprint: str, kind: str, payload, result) -> None:
         """Persist one result atomically under its fingerprint."""

@@ -16,7 +16,7 @@ import json
 #: Salt folded into every fingerprint.  Bump whenever a change to the
 #: simulator or the join methods alters simulated results, so stale cache
 #: entries are never served for new code.
-CODE_VERSION = "sweep-v1"
+CODE_VERSION = "sweep-v2"
 
 
 def canonical_json(payload) -> str:

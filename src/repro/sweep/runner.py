@@ -8,6 +8,14 @@ original sequential behaviour.  With ``jobs>1`` misses fan out across a
 :class:`~concurrent.futures.ProcessPoolExecutor`; results are collected
 as they complete but slotted back into input order, so the returned list
 (and every artifact derived from it) is independent of worker scheduling.
+
+The pooled path is hardened against worker failure: a dead worker (OOM
+kill, segfault, ``os._exit``) breaks the whole pool, so the runner
+rebuilds it and re-dispatches the lost tasks up to ``max_redispatch``
+times, then degrades the stragglers to inline execution — a sweep always
+completes with a full, in-order result list.  ``task_timeout_s`` bounds
+how long the runner waits without *any* pending task completing before
+declaring the pool wedged and reclaiming its work the same way.
 """
 
 from __future__ import annotations
@@ -32,11 +40,21 @@ class SweepRunner:
         cache: SweepCache | None = None,
         progress: ProgressFn | None = None,
         salt: str = CODE_VERSION,
+        task_timeout_s: float | None = None,
+        max_redispatch: int = 1,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
         self.salt = salt
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be positive, got {task_timeout_s}")
+        self.task_timeout_s = task_timeout_s
+        self.max_redispatch = max(0, int(max_redispatch))
+        #: Tasks re-submitted to a fresh pool after a worker failure.
+        self.redispatched = 0
+        #: True once any task had to fall back to inline execution.
+        self.degraded = False
 
     def run(self, tasks: typing.Sequence[SweepTask]) -> list[dict]:
         """Execute ``tasks``, returning one result dict per task, in order."""
@@ -70,34 +88,127 @@ class SweepRunner:
                 followers[index] = leader
 
         if self.jobs == 1 or len(unique) <= 1:
-            for index in unique:
-                task = tasks[index]
-                results[index] = execute_task(task.kind, task.payload)
-                self._store(fingerprints[index], task, results[index])
-                done += 1
-                self._report(done, total, task.kind)
+            done = self._run_inline(unique, tasks, fingerprints, results, done, total)
         else:
-            workers = min(self.jobs, len(unique))
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_task, tasks[index].kind, tasks[index].payload): index
-                    for index in unique
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    index = futures[future]
-                    results[index] = future.result()
-                    self._store(fingerprints[index], tasks[index], results[index])
-                    done += 1
-                    self._report(done, total, tasks[index].kind)
+            done = self._run_pool(unique, tasks, fingerprints, results, done, total)
 
         for index, leader in followers.items():
             results[index] = results[leader]
         return typing.cast("list[dict]", results)
+
+    # -- execution paths -------------------------------------------------------
+
+    def _run_inline(
+        self, indices, tasks, fingerprints, results, done: int, total: int
+    ) -> int:
+        for index in indices:
+            task = tasks[index]
+            result = execute_task(task.kind, task.payload)
+            done = self._finish(index, task, fingerprints[index], result, done, total, results)
+        return done
+
+    def _run_pool(
+        self, unique, tasks, fingerprints, results, done: int, total: int
+    ) -> int:
+        outstanding = list(unique)
+        rounds = 0
+        while outstanding:
+            # Never more workers than tasks left to run.
+            workers = min(self.jobs, len(outstanding))
+            outstanding, done = self._drain_pool(
+                outstanding, workers, tasks, fingerprints, results, done, total
+            )
+            if not outstanding:
+                break
+            if rounds >= self.max_redispatch:
+                # The pool keeps losing workers (or stalling): finish the
+                # stragglers inline, where nothing can kill them short of
+                # killing the sweep itself.
+                self.degraded = True
+                self._report(
+                    done, total,
+                    f"degrading {len(outstanding)} task(s) to inline execution",
+                )
+                done = self._run_inline(
+                    outstanding, tasks, fingerprints, results, done, total
+                )
+                break
+            rounds += 1
+            self.redispatched += len(outstanding)
+            self._report(
+                done, total,
+                f"re-dispatching {len(outstanding)} task(s) after worker failure",
+            )
+        return done
+
+    def _drain_pool(
+        self, indices, workers: int, tasks, fingerprints, results, done: int, total: int
+    ) -> tuple[list[int], int]:
+        """Run ``indices`` through one pool; returns (lost indices, done)."""
+        survivors: list[int] = []
+        pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        futures: dict[concurrent.futures.Future, int] = {}
+        try:
+            for index in indices:
+                future = pool.submit(
+                    execute_task, tasks[index].kind, tasks[index].payload
+                )
+                futures[future] = index
+            while futures:
+                finished, _ = concurrent.futures.wait(
+                    futures,
+                    timeout=self.task_timeout_s,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if not finished:
+                    # Nothing completed within the per-task budget: the
+                    # pool is wedged.  Reclaim everything still pending.
+                    survivors.extend(futures.values())
+                    futures.clear()
+                    break
+                broken = False
+                for future in finished:
+                    index = futures.pop(future)
+                    try:
+                        result = future.result()
+                    except concurrent.futures.process.BrokenProcessPool:
+                        # A worker died; the executor marks every
+                        # outstanding future broken along with it.
+                        survivors.append(index)
+                        broken = True
+                        continue
+                    done = self._finish(
+                        index, tasks[index], fingerprints[index], result, done, total, results
+                    )
+                if broken:
+                    survivors.extend(futures.values())
+                    futures.clear()
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return survivors, done
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _finish(
+        self, index: int, task: SweepTask, fingerprint: str, result: dict,
+        done: int, total: int, results,
+    ) -> int:
+        results[index] = result
+        self._store(fingerprint, task, result)
+        done += 1
+        self._report(done, total, task.kind)
+        return done
 
     def _store(self, fingerprint: str, task: SweepTask, result: dict) -> None:
         if self.cache is not None:
             self.cache.store(fingerprint, task.kind, task.payload, result)
 
     def _report(self, done: int, total: int, note: str) -> None:
-        if self.progress is not None:
+        if self.progress is None:
+            return
+        try:
             self.progress(done, total, note)
+        except Exception:
+            # A broken progress callback must never abort a sweep that is
+            # otherwise computing fine; drop it and carry on silently.
+            self.progress = None

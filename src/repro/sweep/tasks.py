@@ -61,26 +61,34 @@ def join_task(
     disk_params: "DiskParameters",
     scale: ExperimentScale,
     verify: bool = False,
+    fault_plan=None,
+    retry_policy=None,
 ) -> SweepTask:
     """A task running ``symbol`` on one configuration.
 
     ``r_mb``/``s_mb`` are paper sizes (pre-scale); the worker regenerates
-    both relations from the scale's seeded generator parameters.
+    both relations from the scale's seeded generator parameters.  A
+    ``fault_plan`` (``repro.faults``) rides along in the payload — and
+    therefore in the fingerprint — only when one is given, so fault-free
+    tasks keep their original fingerprints.
     """
-    return SweepTask(
-        "join",
-        {
-            "symbol": symbol,
-            "r_mb": r_mb,
-            "s_mb": s_mb,
-            "memory_blocks": memory_blocks,
-            "disk_blocks": disk_blocks,
-            "tape": tape_to_dict(tape),
-            "disk_params": disk_to_dict(disk_params),
-            "scale": scale_to_dict(scale),
-            "verify": verify,
-        },
-    )
+    payload = {
+        "symbol": symbol,
+        "r_mb": r_mb,
+        "s_mb": s_mb,
+        "memory_blocks": memory_blocks,
+        "disk_blocks": disk_blocks,
+        "tape": tape_to_dict(tape),
+        "disk_params": disk_to_dict(disk_params),
+        "scale": scale_to_dict(scale),
+        "verify": verify,
+    }
+    if fault_plan is not None:
+        payload["faults"] = {
+            "plan": fault_plan.to_dict(),
+            "policy": None if retry_policy is None else retry_policy.to_dict(),
+        }
+    return SweepTask("join", payload)
 
 
 def figure4_task(
@@ -190,6 +198,14 @@ def _run_join_task(payload: dict) -> dict:
 
     scale = scale_from_dict(payload["scale"])
     relation_r, relation_s = _memo_relations(scale, payload["r_mb"], payload["s_mb"])
+    fault_plan = retry_policy = None
+    faults = payload.get("faults")
+    if faults is not None:
+        from repro.faults import FaultPlan, RetryPolicy
+
+        fault_plan = FaultPlan.from_dict(faults["plan"])
+        if faults.get("policy") is not None:
+            retry_policy = RetryPolicy.from_dict(faults["policy"])
     try:
         stats = run_join(
             payload["symbol"],
@@ -201,6 +217,8 @@ def _run_join_task(payload: dict) -> dict:
             scale=scale,
             disk_params=disk_from_dict(payload["disk_params"]),
             verify=payload.get("verify", False),
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
     except InfeasibleJoinError as exc:
         return {"infeasible": True, "error": str(exc)}
@@ -269,10 +287,48 @@ def _run_assumption_task(payload: dict) -> dict:
     return {"check": check, "data": dataclasses.asdict(result)}
 
 
+def _run_selftest_task(payload: dict) -> dict:
+    """Worker-behaviour probe used by the sweep-hardening tests.
+
+    Modes: ``ok`` returns immediately; ``sleep`` busy-waits for
+    ``seconds`` (checking ``stop_file`` so tests can release a detached
+    worker); ``die`` hard-exits the hosting process — but only when that
+    process really is a pool worker, so a stray payload cannot kill an
+    interactive session.  With ``once_file`` set, ``die`` kills only the
+    first attempt and succeeds on re-dispatch.
+    """
+    import multiprocessing
+    import os
+    import time
+
+    mode = payload.get("mode", "ok")
+    if mode == "sleep":
+        deadline = time.monotonic() + float(payload.get("seconds", 1.0))
+        stop_file = payload.get("stop_file")
+        while time.monotonic() < deadline:
+            if stop_file and os.path.exists(stop_file):
+                break
+            time.sleep(0.02)
+        return {"ok": True, "mode": mode}
+    if mode == "die":
+        once_file = payload.get("once_file")
+        first = once_file is None or not os.path.exists(once_file)
+        if first and once_file is not None:
+            with open(once_file, "w", encoding="utf-8") as handle:
+                handle.write("died once")
+        if first and multiprocessing.parent_process() is not None:
+            os._exit(13)
+        return {"ok": True, "mode": mode, "survived": True}
+    if mode == "raise":
+        raise RuntimeError("selftest task raised")
+    return {"ok": True, "mode": mode, "n": payload.get("n")}
+
+
 _EXECUTORS: dict[str, typing.Callable[[dict], dict]] = {
     "join": _run_join_task,
     "figure4": _run_figure4_task,
     "assumption": _run_assumption_task,
+    "selftest": _run_selftest_task,
 }
 
 

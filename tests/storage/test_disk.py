@@ -61,6 +61,22 @@ class TestSpaceAccounting:
         assert isinstance(exc_info.value.__cause__ or exc_info.value, DiskFullError) or \
             "DiskFullError" in str(exc_info.value)
 
+    def test_full_error_reports_budget_and_requirement(self, sim, disk):
+        """The diagnostic must name the disk, the requested vs free
+        blocks, the occupancy, and the Table 2 symbol (D) at fault."""
+        extent = disk.allocate("data")
+        run(sim, disk.write(extent, chunk_of(30.0)))
+        with pytest.raises(Exception) as exc_info:
+            run(sim, disk.write(extent, chunk_of(90.0)))
+        cause = exc_info.value.__cause__ or exc_info.value
+        assert isinstance(cause, DiskFullError)
+        message = str(cause)
+        assert "disk d0" in message
+        assert "90.0 blocks" in message  # requested
+        assert "70.0 blocks free" in message
+        assert "30.0/100.0 in use" in message
+        assert "Table 2 requirement D" in message
+
     def test_consume_releases_space(self, sim, disk):
         extent = disk.allocate("data")
         run(sim, disk.write(extent, chunk_of(30.0)))

@@ -153,6 +153,38 @@ class TestTapeDriveIO:
         with pytest.raises(ProcessCrash, match="capacity"):
             run(sim, drive.append(data, chunk_of(5.0)))
 
+    def test_full_error_names_volume_and_sizes(self, sim, drive):
+        """The diagnostic must say which volume filled, how much the
+        append wanted versus what was free, and the total capacity."""
+        volume = TapeVolume("tiny", capacity_blocks=10.0)
+        data = volume.create_file("data")
+        data._append(chunk_of(8.0))
+        drive.load(volume)
+        with pytest.raises(ProcessCrash) as exc_info:
+            run(sim, drive.append(data, chunk_of(5.0)))
+        cause = exc_info.value.__cause__
+        assert isinstance(cause, TapeFullError)
+        message = str(cause)
+        assert "volume tiny" in message
+        assert "5.0 blocks" in message  # requested
+        assert "2.0" in message  # available
+        assert "capacity 10.0" in message
+        # No Table 2 symbol attached: generic phrasing.
+        assert "the volume is full" in message
+
+    def test_full_error_names_table2_requirement(self, sim, drive):
+        """Join-owned volumes carry their Table 2 scratch symbol; running
+        out of tape must name the requirement that was violated."""
+        volume = TapeVolume("vol_r", capacity_blocks=10.0, requirement="T_R")
+        data = volume.create_file("data")
+        data._append(chunk_of(9.0))
+        drive.load(volume)
+        with pytest.raises(ProcessCrash) as exc_info:
+            run(sim, drive.append(data, chunk_of(4.0)))
+        message = str(exc_info.value.__cause__)
+        assert "Table 2 scratch requirement T_R" in message
+        assert "violated" in message
+
     def test_rewind_resets_head(self, sim, drive, volume):
         data = self._load(drive, volume)
         run(sim, drive.read_range(data, 0.0, 50.0))

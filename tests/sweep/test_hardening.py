@@ -1,0 +1,133 @@
+"""Sweep hardening: worker death, wedged pools, degraded inline fallback.
+
+These tests drive the pooled runner with ``selftest`` tasks whose
+behaviours (die, sleep, raise) model the real failure modes — an OOM
+kill, a wedged worker, an ordinary task exception — and assert the sweep
+still returns a full, in-order result list.
+"""
+
+import concurrent.futures
+
+import pytest
+
+import repro.sweep.runner as runner_mod
+from repro.sweep import SweepRunner, SweepTask
+from repro.sweep.cache import SweepCache
+from repro.sweep.fingerprint import task_fingerprint
+
+
+def ok_task(n):
+    return SweepTask("selftest", {"mode": "ok", "n": n})
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_redispatched(self, tmp_path):
+        """A worker that dies mid-task breaks the pool; the runner must
+        rebuild it, re-run the lost task, and keep results in order."""
+        once = tmp_path / "died-once"
+        tasks = [
+            ok_task(1),
+            SweepTask("selftest", {"mode": "die", "once_file": str(once)}),
+            ok_task(2),
+        ]
+        runner = SweepRunner(jobs=2)
+        results = runner.run(tasks)
+        assert [r.get("n") for r in results] == [1, None, 2]
+        assert results[1]["ok"] is True
+        assert runner.redispatched > 0
+        assert once.exists()
+
+    def test_persistent_killer_degrades_to_inline(self):
+        """A task that kills every worker it touches must eventually run
+        inline — where 'die' is a no-op because the host process is not a
+        pool worker — instead of looping on fresh pools."""
+        tasks = [ok_task(1), SweepTask("selftest", {"mode": "die"})]
+        runner = SweepRunner(jobs=2, max_redispatch=1)
+        results = runner.run(tasks)
+        assert results[0]["n"] == 1
+        assert results[1]["survived"] is True
+        assert runner.degraded is True
+
+    def test_die_payload_cannot_kill_an_inline_run(self):
+        # Safety valve: outside a pool worker the kill switch disarms.
+        results = SweepRunner(jobs=1).run([SweepTask("selftest", {"mode": "die"})])
+        assert results[0]["survived"] is True
+
+
+class TestWedgedPool:
+    def test_timeout_reclaims_stuck_tasks(self):
+        """No completion within task_timeout_s ⇒ the pool is declared
+        wedged and its tasks finish inline."""
+        tasks = [
+            SweepTask("selftest", {"mode": "sleep", "seconds": 1.0}),
+            ok_task(1),
+        ]
+        runner = SweepRunner(jobs=2, task_timeout_s=0.2, max_redispatch=0)
+        results = runner.run(tasks)
+        assert results[0]["ok"] is True
+        assert results[1]["n"] == 1
+        assert runner.degraded is True
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="task_timeout_s"):
+            SweepRunner(task_timeout_s=0.0)
+
+
+class TestTaskExceptions:
+    def test_worker_exception_propagates(self):
+        # An ordinary exception is a bug in the task, not a pool failure:
+        # it must surface, not trigger re-dispatch.
+        with pytest.raises(RuntimeError, match="selftest task raised"):
+            SweepRunner(jobs=2).run(
+                [SweepTask("selftest", {"mode": "raise"}), ok_task(1)]
+            )
+
+
+class TestPoolSizing:
+    def test_never_more_workers_than_pending_tasks(self, monkeypatch):
+        real_pool = concurrent.futures.ProcessPoolExecutor
+        sizes = []
+
+        def spying_pool(max_workers=None):
+            sizes.append(max_workers)
+            return real_pool(max_workers=max_workers)
+
+        monkeypatch.setattr(
+            runner_mod.concurrent.futures, "ProcessPoolExecutor", spying_pool
+        )
+        SweepRunner(jobs=8).run([ok_task(1), ok_task(2)])
+        assert sizes == [2]
+
+    def test_cached_tasks_shrink_the_pool(self, monkeypatch, tmp_path):
+        real_pool = concurrent.futures.ProcessPoolExecutor
+        sizes = []
+
+        def spying_pool(max_workers=None):
+            sizes.append(max_workers)
+            return real_pool(max_workers=max_workers)
+
+        monkeypatch.setattr(
+            runner_mod.concurrent.futures, "ProcessPoolExecutor", spying_pool
+        )
+        cache = SweepCache(tmp_path / "cache")
+        tasks = [ok_task(n) for n in range(4)]
+        for task in tasks[:2]:
+            fingerprint = task_fingerprint(task.kind, task.payload)
+            cache.store(fingerprint, task.kind, task.payload, {"ok": True, "n": -1})
+        SweepRunner(jobs=8, cache=cache).run(tasks)
+        assert sizes == [2]  # only the two misses needed workers
+
+
+class TestProgressGuard:
+    def test_broken_progress_callback_does_not_abort(self):
+        calls = []
+
+        def bad_progress(done, total, note):
+            calls.append(done)
+            raise RuntimeError("progress bar exploded")
+
+        runner = SweepRunner(progress=bad_progress)
+        results = runner.run([ok_task(1), ok_task(2)])
+        assert [r["n"] for r in results] == [1, 2]
+        assert calls == [0]  # dropped after the first failure
+        assert runner.progress is None
