@@ -11,6 +11,7 @@ I/O only.
 from __future__ import annotations
 
 import contextlib
+import typing
 
 
 class MemoryBudgetError(RuntimeError):
@@ -26,6 +27,11 @@ class MemoryManager:
         self.budget_blocks = float(budget_blocks)
         self.used_blocks = 0.0
         self.peak_used_blocks = 0.0
+        #: Optional observation callback, called with the new
+        #: ``used_blocks`` after every take/give.  The manager has no
+        #: simulator reference, so timestamping is the caller's business
+        #: (``repro.core.environment`` wires a sim-clocked recorder).
+        self.on_change: typing.Callable[[float], None] | None = None
 
     @property
     def free_blocks(self) -> float:
@@ -44,6 +50,8 @@ class MemoryManager:
             )
         self.used_blocks += n_blocks
         self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+        if self.on_change is not None:
+            self.on_change(self.used_blocks)
         return n_blocks
 
     def give(self, n_blocks: float) -> None:
@@ -56,6 +64,8 @@ class MemoryManager:
                 f"{self.used_blocks:.2f} are allocated"
             )
         self.used_blocks -= n_blocks
+        if self.on_change is not None:
+            self.on_change(self.used_blocks)
 
     @contextlib.contextmanager
     def hold(self, n_blocks: float, purpose: str = ""):

@@ -12,9 +12,9 @@ from repro.buffering.memory import MemoryManager
 from repro.core.spec import JoinSpec, JoinStats
 from repro.faults.checkpoint import JoinCheckpoint
 from repro.faults.injector import FaultInjector
+from repro.obs.recorder import JoinObserver
 from repro.relational.join_core import JoinAccumulator
 from repro.simulator.engine import Simulator
-from repro.simulator.trace import TraceCollector
 from repro.storage.hierarchy import StorageConfig, StorageSystem
 from repro.storage.tape import TapeVolume
 
@@ -25,7 +25,13 @@ class JoinEnvironment:
     def __init__(self, spec: JoinSpec):
         self.spec = spec
         self.sim = Simulator()
-        self.trace = TraceCollector() if spec.trace_buffers else None
+        # One observer serves both trace flags: ``trace_buffers`` feeds
+        # the buffer-occupancy series (Figure 4), ``trace_devices`` adds
+        # per-device busy intervals, queue depths and phase spans.
+        self.observer = (
+            JoinObserver() if (spec.trace_buffers or spec.trace_devices) else None
+        )
+        self.trace = self.observer.trace if self.observer is not None else None
         # Iteration boundaries are tuple-aligned, but rounding at chunk
         # boundaries can shift a tuple between adjacent iterations; a
         # two-tuple slack on D absorbs that without materially relaxing
@@ -55,6 +61,11 @@ class JoinEnvironment:
         if spec.fault_plan is not None:
             self.faults = FaultInjector(self.sim, spec.fault_plan, spec.retry_policy)
             self.storage.install_faults(self.faults)
+        if self.observer is not None and spec.trace_devices:
+            self.storage.install_observer(self.observer)
+            self.memory.on_change = self._record_memory
+            if self.faults is not None:
+                self.faults.observer = self.observer
 
         vol_r = TapeVolume(
             "vol_r", spec.size_r_blocks + spec.effective_scratch_r(), requirement="T_R"
@@ -97,6 +108,12 @@ class JoinEnvironment:
 
     # -- bookkeeping ----------------------------------------------------------------
 
+    def _record_memory(self, used_blocks: float) -> None:
+        """Sample the memory ledger into the observer's buffer series."""
+        self.observer.trace.timeseries("memory.used_blocks").record(
+            self.sim.now, used_blocks
+        )
+
     def mark_step1_done(self) -> None:
         """Record the end of the method's setup phase (Step I)."""
         self.step1_end_s = self.sim.now
@@ -123,6 +140,13 @@ class JoinEnvironment:
         drive_r, drive_s = self.drive_r, self.drive_s
         vol_r, vol_s = drive_r.volume, drive_s.volume
         response = self.sim.now
+        obs_summary = None
+        if self.observer is not None and spec.trace_devices:
+            from repro.obs.metrics import summarize
+
+            self.observer.span("Step I", 0.0, self.step1_end_s, "step")
+            self.observer.span("Step II", self.step1_end_s, response, "step")
+            obs_summary = summarize(self.observer, response, self.step1_end_s)
         return JoinStats(
             method=method_name,
             symbol=method_symbol,
@@ -153,4 +177,6 @@ class JoinEnvironment:
             bucket_restarts=self.checkpoint.restarts,
             restart_lost_s=self.checkpoint.lost_s,
             traces=self.trace,
+            obs_summary=obs_summary,
+            observer=self.observer,
         )

@@ -24,6 +24,7 @@ from repro.storage.tape import TapeDriveParameters
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
     from repro.faults.policy import RetryPolicy
+    from repro.obs.recorder import JoinObserver
 
 
 class InfeasibleJoinError(RuntimeError):
@@ -55,6 +56,11 @@ class JoinSpec:
     bus_bandwidth_mb_s: float = 10.0
     stripe_threshold_blocks: float = 8.0
     trace_buffers: bool = False
+    #: Record per-device busy intervals, queue depths and phase spans
+    #: into a :class:`~repro.obs.recorder.JoinObserver` (``repro.obs``).
+    #: Purely observational: a traced run's event schedule — and every
+    #: reported statistic — is identical to an untraced one.
+    trace_devices: bool = False
     #: Fraction of aggregate disk bandwidth consumed by writing the join
     #: output locally.  Section 3.2: "if the join output is to be stored
     #: locally, the effect of writing the output has been taken into
@@ -204,6 +210,14 @@ class JoinStats:
     #: Simulated seconds of unit work discarded by those restarts.
     restart_lost_s: float = 0.0
     traces: TraceCollector | None = None
+    #: Compact derived metrics from the observability layer (device
+    #: utilization, overlap fractions, queue depths) — present only when
+    #: the run was traced; never the raw trace itself.
+    obs_summary: dict | None = None
+    #: The full :class:`~repro.obs.recorder.JoinObserver` (raw busy
+    #: intervals and spans) for in-process export; like ``traces`` it is
+    #: never serialized.
+    observer: "JoinObserver | None" = None
 
     @property
     def disk_traffic_blocks(self) -> float:
@@ -238,8 +252,13 @@ class JoinStats:
         return spec.mb_from_blocks(self.disk_traffic_blocks)
 
     def to_dict(self) -> dict:
-        """JSON-serializable snapshot (traces omitted)."""
-        return {
+        """JSON-serializable snapshot (traces omitted).
+
+        The ``observability`` key appears only on traced runs, so
+        untraced artifacts stay byte-identical to builds without the
+        observability layer.
+        """
+        payload = {
             "method": self.method,
             "symbol": self.symbol,
             "response_s": self.response_s,
@@ -270,6 +289,9 @@ class JoinStats:
             "bucket_restarts": self.bucket_restarts,
             "restart_lost_s": self.restart_lost_s,
         }
+        if self.obs_summary is not None:
+            payload["observability"] = self.obs_summary
+        return payload
 
 
 def ceil_div(amount: float, chunk: float) -> int:

@@ -106,6 +106,14 @@ def _parser() -> argparse.ArgumentParser:
         help="seed of exp4's fault plans; a fixed seed replays the exact "
         "same fault sequence on every run (default 0)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="additionally run every join method once with device tracing "
+        "enabled and write JSONL + Chrome-trace files plus a metrics "
+        "summary.json to DIR (see docs/observability.md)",
+    )
     return parser
 
 
@@ -195,13 +203,140 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         _write_json_atomic(args.json, collected)
         print(f"wrote {args.json}")
+    if args.trace_out:
+        _run_trace_pass(args.trace_out, args.scale, args.tape)
     if cache is not None and (cache.hits or cache.stores):
         print(
             f"sweep cache: {cache.hits} hits, {cache.misses} misses "
             f"({cache.stores} stored) in {cache.root}",
             file=sys.stderr,
         )
+    profile = runner.profile()
+    if profile["executed"]:
+        print(
+            f"sweep profile: {profile['executed']} task(s) executed "
+            f"({profile['cached']} cached) in {profile['wall_s']:.1f}s wall; "
+            f"run {profile['run_s']:.1f}s, queue {profile['queue_s']:.1f}s, "
+            f"cache load {profile['cache_load_s']:.2f}s / "
+            f"store {profile['cache_store_s']:.2f}s",
+            file=sys.stderr,
+        )
     return 0
+
+
+#: Methods joining tape-to-tape (|R| need not fit on disk).  They trace
+#: on an Experiment-1-style frame where R is tape-resident; everything
+#: else traces on the Experiment 3 frame, where R fits on disk.
+_TAPE_TAPE_SYMBOLS = frozenset({"CTT-GH", "TT-GH"})
+
+
+def _run_trace_pass(out_dir: str, scale_factor: float, tape_name: str) -> None:
+    """Run every registered method once with full device tracing.
+
+    Disk-based methods use the Experiment 3 frame (|S|=1000 MB,
+    |R|=18 MB, D=50 MB before scaling) with M = 0.5 |R| clamped to the
+    Grace Hash feasibility floor — the frame where their concurrency
+    (tape streaming against disk activity) is visible.  The tape–tape
+    methods use an Experiment-1-style frame (|R|=500 MB, |S|=1000 MB,
+    M=16 MB, D=50 MB before scaling): |R| is tape-resident there, and
+    D = |S|/20 gives Step II twenty pipelined iterations, so the
+    drive-to-drive overlap the paper claims for CTT-GH is sustained
+    rather than dominated by the first iteration's buffer fill.  Writes
+    per-method ``trace-<symbol>.jsonl`` and ``trace-<symbol>.trace.json``
+    plus an aggregate ``summary.json`` of derived utilization metrics.
+    """
+    from repro.core.registry import ALL_METHODS
+    from repro.core.spec import InfeasibleJoinError
+    from repro.experiments.config import (
+        DISK_1996,
+        EXPERIMENT3_D_MB,
+        EXPERIMENT3_R_MB,
+        EXPERIMENT3_S_MB,
+    )
+    from repro.experiments.harness import run_join
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.metrics import buffer_utilization
+
+    os.makedirs(out_dir, exist_ok=True)
+    tape = TAPE_SPEEDS[tape_name]
+
+    # Disk-based frame: Experiment 3 (R fits on disk).
+    scale = ExperimentScale(scale=scale_factor)
+    relation_r, relation_s = scale.relations(EXPERIMENT3_R_MB, EXPERIMENT3_S_MB)
+    r_blocks = scale.relation_blocks(EXPERIMENT3_R_MB)
+    floor = 1.05 * math.sqrt(r_blocks)
+    disk_frame = {
+        "name": "exp3",
+        "relations": (relation_r, relation_s),
+        "memory": min(max(0.5 * r_blocks, floor), max(r_blocks - 1.0, floor)),
+        "disk": scale.blocks(EXPERIMENT3_D_MB),
+        "scale": scale,
+    }
+
+    # Tape–tape frame: Experiment-1 geometry with D = |S|/20.
+    tt_scale = ExperimentScale(scale=scale_factor, tuple_bytes=8192)
+    tt_r, tt_s = tt_scale.relations(500.0, 1000.0)
+    tt_r_blocks = tt_scale.relation_blocks(500.0)
+    tt_floor = 1.05 * math.sqrt(tt_r_blocks)
+    tape_frame = {
+        "name": "exp1",
+        "relations": (tt_r, tt_s),
+        "memory": min(
+            max(tt_scale.blocks(16.0), tt_floor), max(tt_r_blocks - 1.0, tt_floor)
+        ),
+        "disk": tt_scale.blocks(50.0),
+        "scale": tt_scale,
+    }
+
+    summary: dict[str, object] = {}
+    for method in ALL_METHODS:
+        symbol = method.symbol
+        slug = symbol.lower().replace("/", "-")
+        frame = tape_frame if symbol in _TAPE_TAPE_SYMBOLS else disk_frame
+        try:
+            stats = run_join(
+                symbol,
+                frame["relations"][0],
+                frame["relations"][1],
+                memory_blocks=frame["memory"],
+                disk_blocks=frame["disk"],
+                tape=tape,
+                scale=frame["scale"],
+                disk_params=DISK_1996,
+                trace_buffers=True,
+                trace_devices=True,
+            )
+        except InfeasibleJoinError as exc:
+            summary[symbol] = {"infeasible": True, "error": str(exc)}
+            print(f"  trace: {symbol} infeasible on the trace frame", file=sys.stderr)
+            continue
+        meta = {
+            "symbol": symbol,
+            "method": stats.method,
+            "frame": frame["name"],
+            "scale": scale_factor,
+            "tape": tape_name,
+            "response_s": stats.response_s,
+            "step1_s": stats.step1_s,
+        }
+        write_jsonl(
+            stats.observer, os.path.join(out_dir, f"trace-{slug}.jsonl"), meta
+        )
+        write_chrome_trace(
+            stats.observer, os.path.join(out_dir, f"trace-{slug}.trace.json"), meta
+        )
+        method_summary = dict(stats.obs_summary or {})
+        method_summary["frame"] = frame["name"]
+        if "s_buffer.total" in stats.traces.series:
+            figure4 = buffer_utilization(
+                stats.traces, "s_buffer", frame["disk"],
+                (stats.step1_s, stats.response_s),
+            )
+            method_summary["buffer_mean_total_pct"] = figure4["mean_total_pct"]
+        summary[symbol] = method_summary
+        print(f"  trace: {symbol} -> trace-{slug}.jsonl", file=sys.stderr)
+    _write_json_atomic(os.path.join(out_dir, "summary.json"), summary)
+    print(f"wrote device traces for {len(summary)} method(s) to {out_dir}")
 
 
 def _write_json_atomic(path: str, payload: dict) -> None:

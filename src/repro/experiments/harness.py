@@ -25,6 +25,7 @@ def run_join(
     scale: ExperimentScale | None = None,
     disk_params: DiskParameters = DISK_1996,
     trace_buffers: bool = False,
+    trace_devices: bool = False,
     verify: bool = False,
     fault_plan=None,
     retry_policy=None,
@@ -48,6 +49,7 @@ def run_join(
         tape_params_r=tape,
         tape_params_s=tape,
         trace_buffers=trace_buffers,
+        trace_devices=trace_devices,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
     )

@@ -56,8 +56,16 @@ def run_unit(
     the zero-rate code path stays byte-identical.
     """
     checkpoint = env.checkpoint
+    # getattr: unit tests drive run_unit with stub environments that may
+    # predate the observability layer.
+    observer = getattr(env, "observer", None)
     if env.faults is None:
-        return (yield from factory())
+        if observer is None:
+            return (yield from factory())
+        started = env.sim.now
+        result = yield from factory()
+        observer.span(key, started, env.sim.now, "unit")
+        return result
     attempt = 0
     while True:
         started = env.sim.now
@@ -67,6 +75,9 @@ def run_unit(
             attempt += 1
             checkpoint.restarts += 1
             checkpoint.lost_s += env.sim.now - started
+            if observer is not None:
+                observer.span(key, started, env.sim.now, "unit-retry")
+                observer.count("unit_restarts")
             if attempt > max_restarts:
                 raise UnitRestartLimitError(
                     f"unit {key!r} failed {attempt} times "
@@ -74,4 +85,6 @@ def run_unit(
                 ) from exc
             continue
         checkpoint.completed.add(key)
+        if observer is not None:
+            observer.span(key, started, env.sim.now, "unit")
         return result

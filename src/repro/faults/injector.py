@@ -80,6 +80,10 @@ class FaultInjector:
         self._streams: dict[str, random.Random] = {}
         self._errors: dict[str, int] = {}
         self._step1_done = False
+        #: Optional :class:`~repro.obs.recorder.JoinObserver`; records a
+        #: span per retried attempt.  Recording draws nothing from the
+        #: fault streams, so traced fault schedules replay identically.
+        self.observer = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -218,4 +222,9 @@ class FaultInjector:
                 yield self.sim.timeout(pause)
             self.stats.retries += 1
             self.stats.recovery_s += wasted + pause
+            if self.observer is not None:
+                self.observer.span(
+                    f"{device}.{kind} retry", started, self.sim.now, "fault-retry"
+                )
+                self.observer.count("fault_retries")
             attempt += 1

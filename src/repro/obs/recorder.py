@@ -1,0 +1,91 @@
+"""The recording surface devices and join phases report into.
+
+A :class:`JoinObserver` wraps one
+:class:`~repro.simulator.trace.TraceCollector` and adds the structure the
+export and metrics layers need: an ordered log of device busy intervals
+(with operation kinds), queue-depth time series, and named spans for the
+join's phases (Step I/II, per-bucket units, fault retries).
+
+The observer is purely observational.  Recording never creates simulator
+events, acquires resources or advances time, so a traced run produces
+exactly the same event schedule — and therefore the same statistics — as
+an untraced one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.simulator.trace import TraceCollector
+
+
+@dataclasses.dataclass(frozen=True)
+class Span:
+    """One named phase of the join (Step I, a bucket unit, a retry)."""
+
+    name: str
+    cat: str
+    start_s: float
+    end_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class BusyInterval:
+    """One device operation: the device held from start to end."""
+
+    device: str
+    kind: str
+    start_s: float
+    end_s: float
+
+
+class JoinObserver:
+    """Collects busy intervals, queue depths and spans for one join."""
+
+    def __init__(self, trace: TraceCollector | None = None):
+        self.trace = trace if trace is not None else TraceCollector()
+        #: Every device operation, in completion order (for export).
+        self.intervals: list[BusyInterval] = []
+        #: Every recorded phase span, in completion order.
+        self.spans: list[Span] = []
+        self._device_kinds: dict[str, set[str]] = {}
+
+    # -- device-side recording -------------------------------------------------
+
+    def device_busy(self, device: str, start_s: float, end_s: float, kind: str) -> None:
+        """Record one operation holding ``device`` over [start, end]."""
+        if end_s < start_s:
+            raise ValueError(f"busy interval on {device!r} ends before it starts")
+        self.intervals.append(BusyInterval(device, kind, start_s, end_s))
+        self.trace.tracker(f"busy.{device}").add(start_s, end_s)
+        self._device_kinds.setdefault(device, set()).add(kind)
+
+    def queue_depth(self, device: str, time_s: float, depth: int) -> None:
+        """Sample the number of requests waiting on ``device``."""
+        self.trace.timeseries(f"queue.{device}").record(time_s, float(depth))
+
+    # -- phase-side recording ----------------------------------------------------
+
+    def span(self, name: str, start_s: float, end_s: float, cat: str = "phase") -> None:
+        """Record one named phase span (Step I/II, units, retries)."""
+        if end_s < start_s:
+            raise ValueError(f"span {name!r} ends before it starts")
+        self.spans.append(Span(name, cat, start_s, end_s))
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate into a named counter (fault retries, restarts...)."""
+        self.trace.count(name, amount)
+
+    # -- query side --------------------------------------------------------------
+
+    def devices(self) -> list[str]:
+        """Names of every device that reported at least one interval."""
+        return sorted(self._device_kinds)
+
+    def device_tracker(self, device: str):
+        """The merged busy-interval tracker of one device."""
+        return self.trace.tracker(f"busy.{device}")
+
+    def spans_in(self, cat: str) -> list[Span]:
+        """All spans of one category, in recording order."""
+        return [span for span in self.spans if span.cat == cat]

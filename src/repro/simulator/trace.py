@@ -10,6 +10,7 @@ the simulation rather than being estimated.
 from __future__ import annotations
 
 import bisect
+import math
 
 
 class TimeSeries:
@@ -57,17 +58,39 @@ class TimeSeries:
             raise ValueError(f"series {self.name!r} is empty")
         return min(self.values)
 
+    def _value_from(self, time: float) -> float:
+        """Value in effect at ``time``, carrying the first sample backward.
+
+        Unlike :meth:`value_at`, a time before the first sample yields the
+        first sample's value — windowed aggregates tolerate a window edge
+        preceding the series without raising.
+        """
+        if time < self.times[0]:
+            return self.values[0]
+        return self.value_at(time)
+
     def time_average(self, start: float | None = None, end: float | None = None) -> float:
-        """Time-weighted mean over [start, end] for this step function."""
+        """Time-weighted mean over [start, end] for this step function.
+
+        An inverted window (``end < start``) raises :class:`ValueError`;
+        a zero-width window evaluates the step function at that instant.
+        A window starting before the first sample carries the first
+        sample's value backward.
+        """
         if not self.times:
             raise ValueError(f"series {self.name!r} is empty")
         lo = self.times[0] if start is None else start
         hi = self.times[-1] if end is None else end
-        if hi <= lo:
-            return self.value_at(lo)
+        if hi < lo:
+            raise ValueError(
+                f"inverted window on series {self.name!r}: "
+                f"end {hi} precedes start {lo}"
+            )
+        if hi == lo:
+            return self._value_from(lo)
         total = 0.0
         prev_t = lo
-        prev_v = self.value_at(lo)
+        prev_v = self._value_from(lo)
         start_idx = bisect.bisect_right(self.times, lo)
         for t, v in zip(self.times[start_idx:], self.values[start_idx:]):
             if t >= hi:
@@ -112,10 +135,29 @@ class IntervalTracker:
         self.intervals.append((start, end))
 
     def busy_time(self, start: float = 0.0, end: float = float("inf")) -> float:
-        """Total busy time clipped to [start, end]."""
+        """Total busy time clipped to [start, end].
+
+        Overlapping intervals are merged before summing, so concurrent
+        operations on one device can never report more busy time than
+        wall-clock time (utilization stays <= 100 %).  A still-open
+        interval counts up to ``end`` when ``end`` is finite; an
+        unbounded query ignores it (its extent is not yet known).
+        """
+        spans = list(self.intervals)
+        if self._open is not None and math.isfinite(end) and end > self._open:
+            spans.append((self._open, end))
         total = 0.0
-        for lo, hi in self.intervals:
-            total += max(0.0, min(hi, end) - max(lo, start))
+        merged_hi = -math.inf
+        for lo, hi in sorted(spans):
+            lo, hi = max(lo, start), min(hi, end)
+            if hi <= lo:
+                continue
+            if lo > merged_hi:
+                total += hi - lo
+                merged_hi = hi
+            elif hi > merged_hi:
+                total += hi - merged_hi
+                merged_hi = hi
         return total
 
     def utilization(self, start: float, end: float) -> float:

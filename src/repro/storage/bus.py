@@ -84,11 +84,33 @@ class Bus:
         #: Optional fault hook (``repro.faults``): called once per transfer
         #: with this bus, returns extra lead-in seconds (a bus glitch).
         self.fault_hook: typing.Callable[["Bus"], float] | None = None
+        #: Optional :class:`~repro.obs.recorder.JoinObserver`; samples the
+        #: in-flight transfer count and records bus-active busy spans.
+        #: Purely observational — no events are created or reordered.
+        self.observer = None
+        self._busy_since: float | None = None
 
     @property
     def active_transfers(self) -> int:
         """Number of in-flight transfers."""
         return len(self._flows)
+
+    def _observe(self) -> None:
+        """Sample the flow count; open/close the bus-active busy span.
+
+        Called whenever the flow list changes.  Back-to-back transfers
+        close and reopen the span at the same timestamp; the interval
+        tracker merges such adjacent intervals when queried.
+        """
+        if self.observer is None:
+            return
+        now = self.sim.now
+        self.observer.queue_depth(self.name, now, len(self._flows))
+        if self._flows and self._busy_since is None:
+            self._busy_since = now
+        elif not self._flows and self._busy_since is not None:
+            self.observer.device_busy(self.name, self._busy_since, now, "bus-active")
+            self._busy_since = None
 
     def transfer(
         self, nominal_rate_bytes_s: float, n_bytes: float, lead_in_s: float = 0.0
@@ -125,6 +147,7 @@ class Bus:
                 flow.rate = nominal_rate_bytes_s
                 self._flows.append(flow)
                 self._schedule_fast_done(flow)
+                self._observe()
                 return done
             self._to_managed()
         else:
@@ -132,6 +155,7 @@ class Bus:
         self._nominal_sum += nominal_rate_bytes_s
         self._flows.append(flow)
         self._replan()
+        self._observe()
         return done
 
     # -- fast regime ----------------------------------------------------------
@@ -152,6 +176,7 @@ class Bus:
         self._nominal_sum -= flow.nominal
         if not self._flows:
             self._nominal_sum = 0.0  # shed float dust while idle
+        self._observe()
         flow.event._succeed_now()
 
     def _to_managed(self) -> None:
@@ -221,6 +246,7 @@ class Bus:
         finished = [f for f in self._flows if f.remaining <= _EPS_BYTES]
         if finished:
             self._flows = [f for f in self._flows if f.remaining > _EPS_BYTES]
+            self._observe()
         for flow in finished:
             self._nominal_sum -= flow.nominal
             flow.event._succeed_now()

@@ -137,6 +137,9 @@ class Disk:
         #: Optional fault injector (``repro.faults``); None = fault-free,
         #: in which case every I/O takes the original unguarded path.
         self.faults = None
+        #: Optional :class:`~repro.obs.recorder.JoinObserver`; recording
+        #: is purely observational, so traced runs stay time-identical.
+        self.observer = None
 
     @property
     def free_blocks(self) -> float:
@@ -185,6 +188,8 @@ class Disk:
     ) -> typing.Generator:
         """Hold the arm, pay positioning if not sequential, then transfer."""
         req = self.arm.request()
+        if self.observer is not None:
+            self.observer.queue_depth(self.name, self.sim.now, len(self.arm.queue))
         yield req
         start = self.sim.now
         try:
@@ -205,6 +210,11 @@ class Disk:
                 )
         finally:
             self.busy_s += self.sim.now - start
+            if self.observer is not None:
+                self.observer.device_busy(self.name, start, self.sim.now, kind)
+                self.observer.queue_depth(
+                    self.name, self.sim.now, len(self.arm.queue)
+                )
             self.arm.release(req)
 
     def _burst_io(
@@ -223,6 +233,8 @@ class Disk:
         as one event keeps large experiments tractable.
         """
         req = self.arm.request()
+        if self.observer is not None:
+            self.observer.queue_depth(self.name, self.sim.now, len(self.arm.queue))
         yield req
         start = self.sim.now
         try:
@@ -243,6 +255,11 @@ class Disk:
                 )
         finally:
             self.busy_s += self.sim.now - start
+            if self.observer is not None:
+                self.observer.device_busy(self.name, start, self.sim.now, kind)
+                self.observer.queue_depth(
+                    self.name, self.sim.now, len(self.arm.queue)
+                )
             self.arm.release(req)
 
     def write(self, extent: DiskExtent, chunk: DataChunk) -> typing.Generator:

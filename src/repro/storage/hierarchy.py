@@ -94,6 +94,16 @@ class StorageSystem:
         bus, disk and tape drive of this system."""
         injector.attach(self)
 
+    def install_observer(self, observer) -> None:
+        """Attach a :class:`~repro.obs.recorder.JoinObserver` to every
+        bus, disk and tape drive of this system."""
+        self.drive_r.observer = observer
+        self.drive_s.observer = observer
+        for disk in self.disks:
+            disk.observer = observer
+        for bus in self.buses:
+            bus.observer = observer
+
     def total_disk_traffic_blocks(self) -> float:
         """Blocks read plus written across all disks."""
         return self.array.read_blocks + self.array.write_blocks

@@ -192,6 +192,9 @@ class TapeDrive:
         #: Optional fault injector (``repro.faults``); None = fault-free,
         #: in which case every I/O takes the original unguarded path.
         self.faults = None
+        #: Optional :class:`~repro.obs.recorder.JoinObserver`; recording
+        #: is purely observational, so traced runs stay time-identical.
+        self.observer = None
 
     # -- media handling ---------------------------------------------------------
 
@@ -226,6 +229,8 @@ class TapeDrive:
         the head finishes at the range's start.
         """
         req = self.unit.request()
+        if self.observer is not None:
+            self.observer.queue_depth(self.name, self.sim.now, len(self.unit.queue))
         yield req
         start = self.sim.now
         reverse = (
@@ -265,6 +270,11 @@ class TapeDrive:
         finally:
             self._last_op_end = self.sim.now
             self.busy_s += self.sim.now - start
+            if self.observer is not None:
+                self.observer.device_busy(self.name, start, self.sim.now, kind)
+                self.observer.queue_depth(
+                    self.name, self.sim.now, len(self.unit.queue)
+                )
             self.unit.release(req)
 
     def read_range(self, file: TapeFile, offset_blocks: float, n_blocks: float):
@@ -307,6 +317,8 @@ class TapeDrive:
         """Rewind to beginning of tape (cheap on serpentine media)."""
         self._require_volume()
         req = self.unit.request()
+        if self.observer is not None:
+            self.observer.queue_depth(self.name, self.sim.now, len(self.unit.queue))
         yield req
         start = self.sim.now
         try:
@@ -314,6 +326,11 @@ class TapeDrive:
             self.head_block = 0.0
         finally:
             self.busy_s += self.sim.now - start
+            if self.observer is not None:
+                self.observer.device_busy(self.name, start, self.sim.now, "tape-rewind")
+                self.observer.queue_depth(
+                    self.name, self.sim.now, len(self.unit.queue)
+                )
             self.unit.release(req)
 
     def _check_mounted(self, file: TapeFile) -> TapeVolume:

@@ -21,6 +21,7 @@ declaring the pool wedged and reclaiming its work the same way.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 import typing
 
 from repro.sweep.cache import SweepCache
@@ -29,6 +30,18 @@ from repro.sweep.tasks import SweepTask, execute_task
 
 #: Progress callback signature: (completed, total, note).
 ProgressFn = typing.Callable[[int, int, str], None]
+
+
+def _timed_execute(kind: str, payload: dict) -> dict:
+    """Worker-side wrapper measuring one task's pure execution time.
+
+    The measured seconds travel back beside the result (never inside it),
+    so cached result dicts are unaffected and the runner can split a
+    pooled task's wall time into queue wait and run time.
+    """
+    started = time.perf_counter()
+    result = execute_task(kind, payload)
+    return {"result": result, "run_s": time.perf_counter() - started}
 
 
 class SweepRunner:
@@ -55,9 +68,24 @@ class SweepRunner:
         self.redispatched = 0
         #: True once any task had to fall back to inline execution.
         self.degraded = False
+        #: Wall-clock record per executed task (accumulated over every
+        #: ``run()`` of this runner): kind, source ("inline"/"pool"),
+        #: ``queue_s`` waiting for a worker and ``run_s`` executing.
+        self.timings: list[dict] = []
+        self._cache_load_s = 0.0
+        self._cache_store_s = 0.0
+        self._cache_hits = 0
+        self._wall_s = 0.0
 
     def run(self, tasks: typing.Sequence[SweepTask]) -> list[dict]:
         """Execute ``tasks``, returning one result dict per task, in order."""
+        run_started = time.perf_counter()
+        try:
+            return self._run(tasks)
+        finally:
+            self._wall_s += time.perf_counter() - run_started
+
+    def _run(self, tasks: typing.Sequence[SweepTask]) -> list[dict]:
         total = len(tasks)
         results: list[dict | None] = [None] * total
         fingerprints = [
@@ -67,8 +95,11 @@ class SweepRunner:
 
         pending: list[int] = []
         for index, fingerprint in enumerate(fingerprints):
+            lookup_started = time.perf_counter()
             cached = self.cache.load(fingerprint) if self.cache else None
+            self._cache_load_s += time.perf_counter() - lookup_started
             if cached is not None:
+                self._cache_hits += 1
                 results[index] = cached
             else:
                 pending.append(index)
@@ -103,7 +134,16 @@ class SweepRunner:
     ) -> int:
         for index in indices:
             task = tasks[index]
+            task_started = time.perf_counter()
             result = execute_task(task.kind, task.payload)
+            self.timings.append(
+                {
+                    "kind": task.kind,
+                    "source": "inline",
+                    "queue_s": 0.0,
+                    "run_s": time.perf_counter() - task_started,
+                }
+            )
             done = self._finish(index, task, fingerprints[index], result, done, total, results)
         return done
 
@@ -148,12 +188,14 @@ class SweepRunner:
         survivors: list[int] = []
         pool = concurrent.futures.ProcessPoolExecutor(max_workers=workers)
         futures: dict[concurrent.futures.Future, int] = {}
+        submitted: dict[concurrent.futures.Future, float] = {}
         try:
             for index in indices:
                 future = pool.submit(
-                    execute_task, tasks[index].kind, tasks[index].payload
+                    _timed_execute, tasks[index].kind, tasks[index].payload
                 )
                 futures[future] = index
+                submitted[future] = time.perf_counter()
             while futures:
                 finished, _ = concurrent.futures.wait(
                     futures,
@@ -170,15 +212,25 @@ class SweepRunner:
                 for future in finished:
                     index = futures.pop(future)
                     try:
-                        result = future.result()
+                        envelope = future.result()
                     except concurrent.futures.process.BrokenProcessPool:
                         # A worker died; the executor marks every
                         # outstanding future broken along with it.
                         survivors.append(index)
                         broken = True
                         continue
+                    total_s = time.perf_counter() - submitted[future]
+                    self.timings.append(
+                        {
+                            "kind": tasks[index].kind,
+                            "source": "pool",
+                            "queue_s": max(0.0, total_s - envelope["run_s"]),
+                            "run_s": envelope["run_s"],
+                        }
+                    )
                     done = self._finish(
-                        index, tasks[index], fingerprints[index], result, done, total, results
+                        index, tasks[index], fingerprints[index],
+                        envelope["result"], done, total, results,
                     )
                 if broken:
                     survivors.extend(futures.values())
@@ -201,7 +253,35 @@ class SweepRunner:
 
     def _store(self, fingerprint: str, task: SweepTask, result: dict) -> None:
         if self.cache is not None:
+            store_started = time.perf_counter()
             self.cache.store(fingerprint, task.kind, task.payload, result)
+            self._cache_store_s += time.perf_counter() - store_started
+
+    def profile(self) -> dict:
+        """Aggregate wall-clock profile of every ``run()`` so far.
+
+        Totals plus a per-kind breakdown; the raw per-task records stay
+        on :attr:`timings`.  All numbers are host wall-clock seconds —
+        simulated time never appears here.
+        """
+        by_kind: dict[str, dict] = {}
+        for timing in self.timings:
+            entry = by_kind.setdefault(
+                timing["kind"], {"tasks": 0, "run_s": 0.0, "queue_s": 0.0}
+            )
+            entry["tasks"] += 1
+            entry["run_s"] += timing["run_s"]
+            entry["queue_s"] += timing["queue_s"]
+        return {
+            "wall_s": self._wall_s,
+            "executed": len(self.timings),
+            "cached": self._cache_hits,
+            "run_s": sum(t["run_s"] for t in self.timings),
+            "queue_s": sum(t["queue_s"] for t in self.timings),
+            "cache_load_s": self._cache_load_s,
+            "cache_store_s": self._cache_store_s,
+            "by_kind": by_kind,
+        }
 
     def _report(self, done: int, total: int, note: str) -> None:
         if self.progress is None:

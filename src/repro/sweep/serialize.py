@@ -63,7 +63,10 @@ def stats_to_dict(stats: JoinStats) -> dict:
     """Serialize every :class:`JoinStats` field except the traces."""
     payload = {}
     for field in dataclasses.fields(JoinStats):
-        if field.name == "traces":
+        # obs_summary is derived observability data; like the raw traces
+        # it stays out of cache entries so fault-free sweep results keep
+        # their original byte-identical form.
+        if field.name in ("traces", "obs_summary", "observer"):
             continue
         if field.name == "output":
             payload["output"] = {

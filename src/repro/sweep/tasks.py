@@ -226,7 +226,11 @@ def _run_join_task(payload: dict) -> dict:
 
 
 def _run_figure4_task(payload: dict) -> dict:
+    # The derivation lives in the generic observability layer now; the
+    # task is just a traced run plus one metrics call, and the result
+    # dict (and therefore cached figure4 entries) is unchanged.
     from repro.experiments.harness import run_join
+    from repro.obs.metrics import buffer_utilization
 
     scale = scale_from_dict(payload["scale"])
     relation_r, relation_s = _memo_relations(scale, payload["r_mb"], payload["s_mb"])
@@ -242,28 +246,9 @@ def _run_figure4_task(payload: dict) -> dict:
         disk_params=disk_from_dict(payload["disk_params"]),
         trace_buffers=True,
     )
-    trace = stats.traces
-    total = trace.timeseries("s_buffer.total")
-    even = trace.timeseries("s_buffer.even")
-    odd = trace.timeseries("s_buffer.odd")
-    window = (stats.step1_s, stats.response_s)
-    times, total_pct, even_pct, odd_pct = [], [], [], []
-    for t, value in zip(total.times, total.values):
-        if not window[0] <= t <= window[1]:
-            continue
-        times.append(t)
-        total_pct.append(100.0 * value / capacity)
-        even_pct.append(100.0 * even.value_at(t) / capacity)
-        odd_pct.append(100.0 * odd.value_at(t) / capacity)
-    mean_pct = 100.0 * total.time_average(window[0], window[1]) / capacity
-    return {
-        "times_s": times,
-        "total_pct": total_pct,
-        "even_pct": even_pct,
-        "odd_pct": odd_pct,
-        "step2_window_s": list(window),
-        "mean_total_pct": mean_pct,
-    }
+    return buffer_utilization(
+        stats.traces, "s_buffer", capacity, (stats.step1_s, stats.response_s)
+    )
 
 
 def _run_assumption_task(payload: dict) -> dict:

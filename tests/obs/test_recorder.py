@@ -1,0 +1,72 @@
+"""JoinObserver recording surface behaviour."""
+
+import pytest
+
+from repro.obs.recorder import BusyInterval, JoinObserver, Span
+from repro.simulator.trace import TraceCollector
+
+
+class TestDeviceRecording:
+    def test_device_busy_logs_interval_and_tracker(self):
+        obs = JoinObserver()
+        obs.device_busy("tape_r", 1.0, 3.0, "tape-read")
+        assert obs.intervals == [BusyInterval("tape_r", "tape-read", 1.0, 3.0)]
+        assert obs.device_tracker("tape_r").busy_time() == pytest.approx(2.0)
+
+    def test_device_busy_rejects_inverted_interval(self):
+        obs = JoinObserver()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            obs.device_busy("tape_r", 3.0, 1.0, "tape-read")
+
+    def test_devices_sorted_and_deduplicated(self):
+        obs = JoinObserver()
+        obs.device_busy("tape_s", 0.0, 1.0, "tape-read")
+        obs.device_busy("disk0", 0.0, 1.0, "disk-read")
+        obs.device_busy("tape_s", 1.0, 2.0, "tape-write")
+        assert obs.devices() == ["disk0", "tape_s"]
+
+    def test_queue_depth_becomes_time_series(self):
+        obs = JoinObserver()
+        obs.queue_depth("disk0", 0.0, 0)
+        obs.queue_depth("disk0", 1.0, 3)
+        series = obs.trace.timeseries("queue.disk0")
+        assert series.points() == [(0.0, 0.0), (1.0, 3.0)]
+        assert series.max() == 3.0
+
+
+class TestPhaseRecording:
+    def test_span_records_and_filters_by_category(self):
+        obs = JoinObserver()
+        obs.span("Step I", 0.0, 5.0, "step")
+        obs.span("II.0.b1", 5.0, 6.0, "unit")
+        obs.span("II.0.b2", 6.0, 7.0, "unit")
+        assert obs.spans_in("unit") == [
+            Span("II.0.b1", "unit", 5.0, 6.0),
+            Span("II.0.b2", "unit", 6.0, 7.0),
+        ]
+        assert obs.spans_in("step") == [Span("Step I", "step", 0.0, 5.0)]
+        assert obs.spans_in("missing") == []
+
+    def test_span_rejects_inverted_interval(self):
+        obs = JoinObserver()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            obs.span("bad", 2.0, 1.0)
+
+    def test_count_accumulates_into_trace_counters(self):
+        obs = JoinObserver()
+        obs.count("fault_retries")
+        obs.count("fault_retries", 2.0)
+        assert obs.trace.counter("fault_retries") == pytest.approx(3.0)
+
+
+class TestCollectorSharing:
+    def test_wraps_an_existing_collector(self):
+        trace = TraceCollector()
+        trace.timeseries("s_buffer.total").record(0.0, 1.0)
+        obs = JoinObserver(trace)
+        assert obs.trace is trace
+        obs.device_busy("disk0", 0.0, 1.0, "disk-read")
+        assert "busy.disk0" in trace.trackers
+
+    def test_fresh_collector_by_default(self):
+        assert JoinObserver().trace is not JoinObserver().trace

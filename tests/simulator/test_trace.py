@@ -61,6 +61,31 @@ class TestTimeSeries:
         series.record(0.0, 4.0)
         assert series.time_average(1.0, 3.0) == pytest.approx(4.0)
 
+    def test_time_average_inverted_window_raises(self):
+        # Regression: an inverted window used to silently return
+        # value_at(start) instead of flagging the caller's bug.
+        series = TimeSeries("m")
+        series.record(0.0, 4.0)
+        series.record(2.0, 8.0)
+        with pytest.raises(ValueError, match="inverted window"):
+            series.time_average(3.0, 1.0)
+
+    def test_time_average_zero_width_window(self):
+        series = TimeSeries("m")
+        series.record(0.0, 4.0)
+        series.record(2.0, 8.0)
+        assert series.time_average(1.0, 1.0) == pytest.approx(4.0)
+        assert series.time_average(2.0, 2.0) == pytest.approx(8.0)
+
+    def test_time_average_window_before_first_sample(self):
+        # A window edge before the first sample carries that sample's
+        # value backward instead of raising like value_at does.
+        series = TimeSeries("m")
+        series.record(2.0, 6.0)
+        series.record(4.0, 0.0)
+        assert series.time_average(0.0, 4.0) == pytest.approx(6.0)
+        assert series.time_average(0.0, 2.0) == pytest.approx(6.0)
+
 
 class TestIntervalTracker:
     def test_begin_end_accumulates(self):
@@ -98,6 +123,55 @@ class TestIntervalTracker:
         assert tracker.utilization(0.0, 10.0) == pytest.approx(0.5)
         with pytest.raises(ValueError, match="empty window"):
             tracker.utilization(3.0, 3.0)
+
+    def test_overlapping_intervals_merge(self):
+        # Regression: overlapping intervals used to be summed raw, so a
+        # device with concurrent operations could report > 100 % busy.
+        tracker = IntervalTracker("disk")
+        tracker.add(0.0, 6.0)
+        tracker.add(2.0, 4.0)  # fully contained
+        tracker.add(5.0, 9.0)  # partial overlap
+        assert tracker.busy_time() == pytest.approx(9.0)
+        assert tracker.utilization(0.0, 9.0) == pytest.approx(1.0)
+
+    def test_identical_intervals_count_once(self):
+        tracker = IntervalTracker("disk")
+        tracker.add(1.0, 3.0)
+        tracker.add(1.0, 3.0)
+        assert tracker.busy_time() == pytest.approx(2.0)
+
+    def test_unsorted_overlapping_intervals_merge(self):
+        tracker = IntervalTracker("disk")
+        tracker.add(4.0, 8.0)
+        tracker.add(0.0, 5.0)
+        assert tracker.busy_time() == pytest.approx(8.0)
+        assert tracker.busy_time(2.0, 6.0) == pytest.approx(4.0)
+
+    def test_open_interval_counts_up_to_finite_end(self):
+        # Regression: a still-open interval contributed nothing, so a
+        # window ending mid-operation under-reported busy time.
+        tracker = IntervalTracker("disk")
+        tracker.add(0.0, 2.0)
+        tracker.begin(4.0)
+        assert tracker.busy_time(0.0, 10.0) == pytest.approx(8.0)
+        assert tracker.utilization(0.0, 10.0) == pytest.approx(0.8)
+
+    def test_open_interval_ignored_by_unbounded_query(self):
+        tracker = IntervalTracker("disk")
+        tracker.add(0.0, 2.0)
+        tracker.begin(4.0)
+        assert tracker.busy_time() == pytest.approx(2.0)
+
+    def test_open_interval_after_window_contributes_nothing(self):
+        tracker = IntervalTracker("disk")
+        tracker.begin(5.0)
+        assert tracker.busy_time(0.0, 4.0) == pytest.approx(0.0)
+
+    def test_open_interval_overlapping_closed_one_merges(self):
+        tracker = IntervalTracker("disk")
+        tracker.add(0.0, 6.0)
+        tracker.begin(4.0)
+        assert tracker.busy_time(0.0, 8.0) == pytest.approx(8.0)
 
 
 class TestTraceCollector:

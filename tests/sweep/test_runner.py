@@ -76,3 +76,72 @@ class TestSweepRunner:
         SweepRunner(cache=cache, salt="code-a").run(tasks)
         SweepRunner(cache=cache, salt="code-b").run(tasks)
         assert calls == [1, 1]  # salt bump invalidated the first entry
+
+
+class TestProfiling:
+    def test_inline_tasks_are_timed(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute([]))
+        runner = SweepRunner()
+        runner.run(tasks_for([1, 2]))
+        assert [t["source"] for t in runner.timings] == ["inline", "inline"]
+        assert all(t["queue_s"] == 0.0 for t in runner.timings)
+        assert all(t["run_s"] >= 0.0 for t in runner.timings)
+        profile = runner.profile()
+        assert profile["executed"] == 2
+        assert profile["cached"] == 0
+        assert profile["wall_s"] > 0.0
+        assert profile["by_kind"] == {
+            "stub": {
+                "tasks": 2,
+                "run_s": profile["run_s"],
+                "queue_s": 0.0,
+            }
+        }
+
+    def test_cache_hits_are_profiled_not_timed(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute([]))
+        cache = SweepCache(tmp_path / "cache")
+        tasks = tasks_for([1, 2])
+        SweepRunner(cache=cache).run(tasks)
+        runner = SweepRunner(cache=cache)
+        runner.run(tasks)
+        profile = runner.profile()
+        assert profile["executed"] == 0
+        assert profile["cached"] == 2
+        assert runner.timings == []
+        assert profile["cache_load_s"] >= 0.0
+
+    def test_cache_stores_are_timed(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute([]))
+        runner = SweepRunner(cache=SweepCache(tmp_path / "cache"))
+        runner.run(tasks_for([1]))
+        assert runner.profile()["cache_store_s"] > 0.0
+
+    def test_pooled_tasks_split_queue_and_run_time(self):
+        # Real selftest tasks: worker-side timing must survive the trip
+        # through the process pool via the result envelope.
+        tasks = [
+            runner_mod.SweepTask("selftest", {"mode": "ok", "n": n})
+            for n in range(3)
+        ]
+        runner = SweepRunner(jobs=2)
+        results = runner.run(tasks)
+        assert [r["n"] for r in results] == [0, 1, 2]
+        assert len(runner.timings) == 3
+        assert all(t["source"] == "pool" for t in runner.timings)
+        assert all(t["queue_s"] >= 0.0 for t in runner.timings)
+        profile = runner.profile()
+        assert profile["executed"] == 3
+        assert profile["by_kind"]["selftest"]["tasks"] == 3
+        # A pooled task's wall time is at least its pure run time.
+        assert profile["wall_s"] > 0.0
+
+    def test_timings_accumulate_across_runs(self, monkeypatch):
+        monkeypatch.setattr(runner_mod, "execute_task", tracking_execute([]))
+        runner = SweepRunner()
+        runner.run(tasks_for([1]))
+        first_wall = runner.profile()["wall_s"]
+        runner.run(tasks_for([2]))
+        profile = runner.profile()
+        assert profile["executed"] == 2
+        assert profile["wall_s"] > first_wall
