@@ -5,8 +5,9 @@ The paper's introduction motivates tertiary joins with data-analysis
 workloads on workstations — "making database applications similar to data
 mining possible without mainframe-size machinery".  This example joins a
 foreign-key fact relation (sales events, on tape S) with a primary-key
-dimension (customers, on tape R) and asks the planner, for a grid of
-workstation configurations, which join method to use and what it costs.
+dimension (customers, on tape R) and asks the planner (through the
+:mod:`repro.api` facade), for a grid of workstation configurations,
+which join method to use and what it costs.
 
 The resulting matrix is the paper's Section 10 in one table: tape–tape
 Grace hash when disk is scarce, concurrent Grace hash with ample disk and
@@ -18,6 +19,7 @@ Run with::
 """
 
 import repro
+from repro import api
 from repro.experiments.report import format_table
 
 
@@ -47,12 +49,11 @@ def main() -> None:
                 disk_blocks=spec_block.blocks_from_mb(disk_mb),
             )
             try:
-                plan = repro.plan_join(spec)
-            except repro.InfeasibleJoinError:
+                plan = api.plan(spec)
+            except api.InfeasibleJoinError:
                 rows.append([f"{memory_mb:g}", f"{disk_mb:g}", "-", "-", "-"])
                 continue
-            stats = repro.method_by_symbol(plan.chosen).run(spec)
-            assert stats.output == expected
+            stats = api.run_join(spec, method=plan.chosen, verify=True)
             rows.append([
                 f"{memory_mb:g}",
                 f"{disk_mb:g}",

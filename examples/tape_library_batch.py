@@ -2,85 +2,65 @@
 """Night-batch scenario: a queue of joins against an automated tape library.
 
 An archive holds one dimension tape and several monthly fact tapes.  The
-operator runs the whole backlog overnight on one workstation: for each
-month the robot exchanges media (~30 s, negligible against multi-hour
-joins, exactly as Section 3.2 argues), the planner picks a method for that
-month's sizes, and the join runs.  The example reports the per-join and
-total makespan, and demonstrates the media-exchange accounting of
-:class:`repro.storage.TapeLibrary`.
+operator submits the whole backlog to the multi-join scheduler service
+(:mod:`repro.service`) and runs it overnight in submission (FIFO) order
+on a two-drive library: the robot exchanges media (~30 s each, the
+Section 3.2 accounting), the planner picks a method for each month's
+sizes, and the service overlaps one month's disk-resident Step II with
+the next month's tape read.
 
 Run with::
 
     python examples/tape_library_batch.py
 """
 
-import repro
+from repro import api
 from repro.experiments.report import format_table
-from repro.simulator import Simulator
-from repro.storage import (
-    BlockSpec,
-    Bus,
-    TapeDrive,
-    TapeDriveParameters,
-    TapeLibrary,
-    TapeVolume,
-)
+
+#: The monthly fact tapes in the backlog, as (month, fact MB).
+MONTHS = (("jan", 900.0), ("feb", 1200.0), ("mar", 700.0), ("apr", 1600.0))
+
+#: The shared dimension tape every month joins against, in MB.
+DIMENSION_MB = 80.0
 
 
-def measure_exchange_overhead(n_exchanges: int) -> float:
-    """Simulated seconds the robot spends on ``n_exchanges`` mounts."""
-    sim = Simulator()
-    spec = BlockSpec()
-    library = TapeLibrary(sim, exchange_s=30.0)
-    drive = TapeDrive(sim, "drive", Bus(sim, "scsi"), spec)
-
-    for month in range(n_exchanges):
-        library.add_volume(TapeVolume(f"facts-{month:02d}", capacity_blocks=1.0))
-
-    def operator():
-        for month in range(n_exchanges):
-            yield from library.mount(drive, f"facts-{month:02d}")
-
-    sim.process(operator())
-    sim.run()
-    return sim.now
+def night_batch_report(policy: str = "fifo") -> api.WorkloadReport:
+    """Run the backlog through the service under ``policy``."""
+    requests = [
+        api.JoinRequest(
+            name=month,
+            r_mb=DIMENSION_MB,
+            s_mb=fact_mb,
+            r_volume="dimension",
+            s_volume=f"facts-{month}",
+        )
+        for month, fact_mb in MONTHS
+    ]
+    config = api.ServiceConfig(n_drives=2, memory_mb=16.0, disk_mb=160.0)
+    return api.run_service(requests, config=config, policy=policy)
 
 
 def main() -> None:
-    tape = TapeDriveParameters(compression_ratio=0.25)  # DLT-4000 on typical data
-    dimension = repro.uniform_relation("dimension", size_mb=80.0, seed=3)
-
-    months = [("jan", 900.0), ("feb", 1200.0), ("mar", 700.0), ("apr", 1600.0)]
-    memory_blocks = 48.0
-    disk_blocks = 400.0
+    report = night_batch_report()
 
     rows = []
-    total_s = 0.0
-    for name, fact_mb in months:
-        facts = repro.uniform_relation(
-            f"facts-{name}", fact_mb, seed=hash(name) % 1000,
-            key_space=4 * dimension.n_tuples,
-        )
-        spec = repro.JoinSpec(
-            dimension, facts,
-            memory_blocks=memory_blocks, disk_blocks=disk_blocks,
-            tape_params_r=tape, tape_params_s=tape,
-        )
-        plan = repro.plan_join(spec)
-        stats = repro.method_by_symbol(plan.chosen).run(spec)
-        total_s += stats.response_s
+    for outcome in report.outcomes:
         rows.append([
-            name, f"{fact_mb:g}", plan.chosen,
-            f"{stats.response_s / 3600:.2f} h", f"{stats.output.n_pairs}",
+            outcome.name,
+            f"{dict(MONTHS)[outcome.name]:g}",
+            outcome.symbol or "-",
+            f"{outcome.latency_s / 3600:.2f} h",
         ])
+    print(format_table(["month", "fact (MB)", "method", "latency"], rows))
 
-    exchange_s = measure_exchange_overhead(len(months))
-    print(format_table(["month", "fact (MB)", "method", "response", "pairs"], rows))
-    print(f"\njoin time total:      {total_s / 3600:6.2f} h")
-    print(f"media exchanges:      {exchange_s:6.0f} s "
-          f"({100 * exchange_s / total_s:.2f} % of the batch — negligible, "
-          "as the paper's cost model assumes)")
-    print(f"night batch makespan: {(total_s + exchange_s) / 3600:6.2f} h")
+    exchange_s = 30.0 * report.exchanges
+    print(f"\nmedia exchanges:      {report.exchanges:6d} "
+          f"({exchange_s:.0f} s of robot time, "
+          f"{100 * exchange_s / report.makespan_s:.1f} % of the batch)")
+    for device, utilization in sorted(report.drive_utilization.items()):
+        print(f"{device} utilization:    {100 * utilization:5.1f} %")
+    print(f"night batch makespan: {report.makespan_s:.0f} s "
+          f"({report.makespan_s / 3600:.2f} h)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""CI check: every legacy package-root import is shimmed, not silent.
+
+For each (module, name) pair in :data:`repro.api.DEPRECATED_IMPORTS`
+this script runs two subprocess probes:
+
+1. ``from <module> import <name>`` under ``-W error::DeprecationWarning``
+   must **fail** — the shim's warning is the migration signal, so a
+   silent import means the shim regressed;
+2. the same import under default warning filters must **succeed** —
+   deprecated is not removed (the removal lands two PRs after the
+   ``repro.api`` facade).
+
+Exits non-zero listing every violated pair.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_deprecation_shims.py
+"""
+
+import subprocess
+import sys
+
+
+def probe(module: str, name: str, error_on_warning: bool) -> bool:
+    """True if the import subprocess succeeds."""
+    args = [sys.executable]
+    if error_on_warning:
+        args += ["-W", "error::DeprecationWarning"]
+    args += ["-c", f"from {module} import {name}"]
+    return subprocess.run(args, capture_output=True).returncode == 0
+
+
+def main() -> int:
+    from repro.api import DEPRECATED_IMPORTS
+
+    failures = []
+    for module, name in DEPRECATED_IMPORTS:
+        if probe(module, name, error_on_warning=True):
+            failures.append(
+                f"{module}.{name}: imported cleanly under "
+                "-W error::DeprecationWarning (shim missing?)"
+            )
+        if not probe(module, name, error_on_warning=False):
+            failures.append(
+                f"{module}.{name}: import failed outright "
+                "(shim broken — deprecated names must keep working)"
+            )
+    if failures:
+        print("deprecation shim check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"deprecation shim check OK: {len(DEPRECATED_IMPORTS)} legacy "
+          "imports all warn and all still resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

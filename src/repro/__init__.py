@@ -28,7 +28,11 @@ Subpackages:
 * :mod:`repro.storage` — tape/disk/bus/library device models.
 * :mod:`repro.buffering` — Section 4's buffering techniques.
 * :mod:`repro.relational` — relations, data generators, join primitives.
-* :mod:`repro.experiments` — the paper's Experiments 1–3 and figures.
+* :mod:`repro.experiments` — the paper's Experiments 1–5 and figures.
+* :mod:`repro.service` — the multi-join tape-library scheduler service.
+* :mod:`repro.api` — the one-stop facade (``run_join``, ``plan``,
+  ``sweep``, ``trace``, ``run_service``); everything it exports is also
+  re-exported here.
 """
 
 from repro.core import (
@@ -52,6 +56,23 @@ from repro.relational import (
     zipf_relation,
 )
 from repro.storage import BlockSpec, DiskParameters, TapeDriveParameters
+from repro import api
+# The facade's entry points, re-exported for `repro.run_join(...)`-style
+# use.  `api.sweep` is deliberately NOT re-exported here: the name would
+# shadow the `repro.sweep` subpackage on the package object.
+from repro.api import (
+    FaultPlan,
+    JoinRequest,
+    JoinService,
+    RetryPolicy,
+    ServiceConfig,
+    WorkloadReport,
+    plan,
+    run_join,
+    run_service,
+    submit,
+    trace,
+)
 
 __version__ = "1.0.0"
 
@@ -59,23 +80,35 @@ __all__ = [
     "ALL_METHODS",
     "BlockSpec",
     "DiskParameters",
+    "FaultPlan",
     "InfeasibleJoinError",
     "JoinPlan",
+    "JoinRequest",
+    "JoinService",
     "JoinSpec",
     "JoinStats",
     "Relation",
+    "RetryPolicy",
     "Schema",
+    "ServiceConfig",
     "SystemParameters",
     "TapeDriveParameters",
+    "WorkloadReport",
     "__version__",
+    "api",
     "estimate",
     "estimate_all",
     "fk_pk_pair",
     "method_by_symbol",
+    "plan",
     "plan_join",
     "reference_join",
+    "run_join",
+    "run_service",
     "self_join_relation",
+    "submit",
     "symbols",
+    "trace",
     "uniform_relation",
     "zipf_relation",
 ]

@@ -8,12 +8,16 @@ Regenerate any of the paper's tables and figures from a shell::
     python -m repro.experiments exp3 --tape fast
     python -m repro.experiments fig1 fig2 fig3
     python -m repro.experiments assumptions
+    python -m repro.experiments exp5 --policy affinity --scale 0.1
     python -m repro.experiments all --scale 0.1 --json artifacts.json
 
 ``--scale`` shrinks every size (relations, D, M) while preserving the
 ratios that determine each experiment's outcome; scale 1.0 is the paper's
 parameterization.  ``--json`` additionally writes the simulated artifacts
-as machine-readable data for plotting.
+as machine-readable data for plotting.  The sweep/fault/tracing flags
+(``--jobs``, ``--cache-dir``, ``--no-cache``, ``--fault-rate``,
+``--fault-seed``, ``--trace-out``) come from the shared parent parser in
+:mod:`repro.experiments.cli`, so they behave identically across exp1–exp5.
 """
 
 from __future__ import annotations
@@ -28,23 +32,25 @@ import time
 
 from repro.experiments.analytical import figure1, figure2, figure3
 from repro.experiments.assumptions import run_assumption_checks
+from repro.experiments.cli import report_sweep_usage, runner_from_args, sweep_options
 from repro.experiments.config import TAPE_SPEEDS, ExperimentScale
 from repro.experiments.exp1 import run_experiment1, run_figure4
 from repro.experiments.exp2 import run_experiment2
 from repro.experiments.exp3 import run_experiment3
 from repro.experiments.exp4_faults import run_experiment4
+from repro.experiments.exp5_service import EXPERIMENT5_POLICIES, run_experiment5
 from repro.storage.block import BlockSpec
-from repro.sweep import SweepCache, SweepRunner
-from repro.sweep.cache import DEFAULT_CACHE_DIR
+from repro.sweep.runner import SweepRunner
 
 ARTIFACTS = ("fig1", "fig2", "fig3", "table3", "fig4", "fig5", "exp3",
-             "assumptions", "exp4", "all")
+             "assumptions", "exp4", "exp5", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
+        parents=[sweep_options()],
     )
     parser.add_argument(
         "artifacts",
@@ -72,53 +78,19 @@ def _parser() -> argparse.ArgumentParser:
         help="also write the regenerated artifacts as JSON to PATH",
     )
     parser.add_argument(
-        "--jobs",
+        "--policy",
+        choices=(*EXPERIMENT5_POLICIES, "all"),
+        default="all",
+        help="scheduling policy compared by exp5 (default: all of them)",
+    )
+    parser.add_argument(
+        "--workload-jobs",
         type=int,
-        default=1,
+        default=10,
         metavar="N",
-        help="worker processes for the simulated sweeps (default 1 = "
-        "in-order, single-process execution)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        metavar="PATH",
-        default=DEFAULT_CACHE_DIR,
-        help=f"sweep result cache directory (default {DEFAULT_CACHE_DIR!r})",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="recompute every sweep point; neither read nor write the cache",
-    )
-    parser.add_argument(
-        "--fault-rate",
-        type=float,
-        default=0.01,
-        metavar="P",
-        help="maximum per-operation soft-error rate swept by exp4 "
-        "(default 0.01; the sweep covers 0, P/100, P/10, P)",
-    )
-    parser.add_argument(
-        "--fault-seed",
-        type=int,
-        default=0,
-        metavar="N",
-        help="seed of exp4's fault plans; a fixed seed replays the exact "
-        "same fault sequence on every run (default 0)",
-    )
-    parser.add_argument(
-        "--trace-out",
-        metavar="DIR",
-        default=None,
-        help="additionally run every join method once with device tracing "
-        "enabled and write JSONL + Chrome-trace files plus a metrics "
-        "summary.json to DIR (see docs/observability.md)",
+        help="largest workload size swept by exp5 (default 10)",
     )
     return parser
-
-
-def _progress(done: int, total: int, note: str) -> None:
-    print(f"  sweep {done}/{total} ({note})", file=sys.stderr)
 
 
 def _run_assumptions(runner: SweepRunner) -> tuple[str, dict]:
@@ -150,12 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     block_spec = BlockSpec()
     collected: dict[str, object] = {}
 
-    cache = None if args.no_cache else SweepCache(args.cache_dir)
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache=cache,
-        progress=_progress if args.jobs > 1 else None,
-    )
+    runner = runner_from_args(args)
 
     for artifact in dict.fromkeys(wanted):  # preserve order, drop dupes
         started = time.perf_counter()
@@ -192,9 +159,24 @@ def main(argv: list[str] | None = None) -> int:
         elif artifact == "exp4":
             result = run_experiment4(
                 scale=scale,
-                max_rate=args.fault_rate,
+                max_rate=0.01 if args.fault_rate is None else args.fault_rate,
                 fault_seed=args.fault_seed,
                 runner=runner,
+            )
+            print(result.render())
+            collected[artifact] = result.to_dict()
+        elif artifact == "exp5":
+            policies = (
+                EXPERIMENT5_POLICIES if args.policy == "all" else (args.policy,)
+            )
+            result = run_experiment5(
+                scale=scale,
+                policies=policies,
+                max_jobs=args.workload_jobs,
+                fault_rate=0.0 if args.fault_rate is None else args.fault_rate,
+                fault_seed=args.fault_seed,
+                runner=runner,
+                trace_out=args.trace_out,
             )
             print(result.render())
             collected[artifact] = result.to_dict()
@@ -203,24 +185,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         _write_json_atomic(args.json, collected)
         print(f"wrote {args.json}")
-    if args.trace_out:
+    if args.trace_out and any(artifact != "exp5" for artifact in wanted):
         _run_trace_pass(args.trace_out, args.scale, args.tape)
-    if cache is not None and (cache.hits or cache.stores):
-        print(
-            f"sweep cache: {cache.hits} hits, {cache.misses} misses "
-            f"({cache.stores} stored) in {cache.root}",
-            file=sys.stderr,
-        )
-    profile = runner.profile()
-    if profile["executed"]:
-        print(
-            f"sweep profile: {profile['executed']} task(s) executed "
-            f"({profile['cached']} cached) in {profile['wall_s']:.1f}s wall; "
-            f"run {profile['run_s']:.1f}s, queue {profile['queue_s']:.1f}s, "
-            f"cache load {profile['cache_load_s']:.2f}s / "
-            f"store {profile['cache_store_s']:.2f}s",
-            file=sys.stderr,
-        )
+    report_sweep_usage(runner)
     return 0
 
 

@@ -171,7 +171,8 @@ def run_assumption_checks(
     # Imported here, not at module top: repro.sweep's worker tasks import
     # this module lazily, and keeping both edges lazy makes the absence of
     # an import cycle obvious.
-    from repro.sweep import SweepRunner, assumption_task
+    from repro.sweep.runner import SweepRunner
+    from repro.sweep.tasks import assumption_task
 
     runner = runner or SweepRunner()
     results = runner.run(

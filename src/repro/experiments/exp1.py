@@ -26,7 +26,8 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.report import format_table
-from repro.sweep import SweepRunner, figure4_task, join_task
+from repro.sweep.runner import SweepRunner
+from repro.sweep.tasks import figure4_task, join_task
 from repro.sweep.serialize import stats_from_dict
 
 

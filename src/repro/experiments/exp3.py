@@ -27,7 +27,8 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.report import format_series
-from repro.sweep import SweepRunner, join_task
+from repro.sweep.runner import SweepRunner
+from repro.sweep.tasks import join_task
 from repro.sweep.serialize import stats_from_dict
 
 

@@ -31,8 +31,10 @@ from repro.experiments.config import (
     ExperimentScale,
 )
 from repro.experiments.report import format_series
-from repro.faults import FaultPlan, RetryPolicy
-from repro.sweep import SweepRunner, join_task
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.sweep.runner import SweepRunner
+from repro.sweep.tasks import join_task
 from repro.sweep.serialize import stats_from_dict
 
 #: M as a fraction of |R| — mid-range, feasible for all seven methods.

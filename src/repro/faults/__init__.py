@@ -6,9 +6,10 @@ package adds a seeded, serializable fault layer threaded through the
 storage devices, plus the recovery machinery that keeps joins and sweeps
 alive when faults fire:
 
-* :class:`FaultPlan` — what to inject (rates, magnitudes, a seed);
-* :class:`RetryPolicy` — bounded retries, exponential backoff in
-  simulated seconds, per-device error budgets;
+* :class:`~repro.faults.plan.FaultPlan` — what to inject (rates,
+  magnitudes, a seed);
+* :class:`~repro.faults.policy.RetryPolicy` — bounded retries,
+  exponential backoff in simulated seconds, per-device error budgets;
 * :class:`FaultInjector` — the per-join runtime: seeded per-device
   streams, the guarded-transfer retry loop, fault counters;
 * :class:`JoinCheckpoint` / :func:`run_unit` — per-bucket
@@ -18,7 +19,16 @@ alive when faults fire:
 With no plan installed — or a plan whose rates are all zero — the layer
 is provably inert: every artifact stays byte-identical to a fault-free
 build.  See ``docs/faults.md``.
+
+Importing ``FaultPlan`` / ``RetryPolicy`` from this package root is
+**deprecated**: use :mod:`repro.api` (which re-exports both) or the
+deep modules ``repro.faults.plan`` / ``repro.faults.policy``.  The root
+re-exports raise :class:`DeprecationWarning` and will be removed two
+PRs after the facade landed.
 """
+
+import importlib
+import warnings
 
 from repro.faults.checkpoint import MAX_UNIT_RESTARTS, JoinCheckpoint, run_unit
 from repro.faults.errors import (
@@ -33,8 +43,13 @@ from repro.faults.errors import (
     UnitRestartLimitError,
 )
 from repro.faults.injector import FaultInjector, FaultStats
-from repro.faults.plan import OP_KINDS, FaultPlan
-from repro.faults.policy import RetryPolicy
+from repro.faults.plan import OP_KINDS
+
+#: Legacy package-root exports, shimmed: name -> implementation module.
+_DEPRECATED = {
+    "FaultPlan": "repro.faults.plan",
+    "RetryPolicy": "repro.faults.policy",
+}
 
 __all__ = [
     "DeviceFault",
@@ -55,3 +70,23 @@ __all__ = [
     "UnitRestartLimitError",
     "run_unit",
 ]
+
+
+def __getattr__(name: str):
+    """PEP 562 shim forwarding deprecated root imports with a warning."""
+    home = _DEPRECATED.get(name)
+    if home is None:
+        raise AttributeError(f"module 'repro.faults' has no attribute {name!r}")
+    warnings.warn(
+        f"importing {name} from repro.faults is deprecated; use repro.api "
+        f"or {home} (root re-exports will be removed two PRs after the "
+        "repro.api facade landed)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__():
+    """Advertise shimmed names alongside the eager ones."""
+    return sorted(set(globals()) | set(_DEPRECATED))

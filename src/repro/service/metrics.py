@@ -1,0 +1,172 @@
+"""Service-level workload metrics: per-job outcomes and batch reports.
+
+A service run yields one :class:`JobOutcome` per submitted request and
+a :class:`WorkloadReport` aggregating makespan, mean/p95 latency, drive
+utilization (via ``repro.obs.metrics``) and media-exchange counts.
+Reports serialize to plain JSON (the observer stays out, as with
+:class:`~repro.core.spec.JoinStats`) so service runs travel through the
+sweep cache byte-stably.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.experiments.report import format_table
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.recorder import JoinObserver
+
+#: Span categories a service run records (see docs/observability.md):
+#: per-job lifetime, queueing, robot mounts and the two join steps.
+SERVICE_SPAN_CATS = ("job", "wait", "mount", "step1", "step2")
+
+
+def percentile(values: typing.Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"percentile must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+@dataclasses.dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one submitted request."""
+
+    name: str
+    status: str  # "completed" | "rejected"
+    symbol: str | None = None
+    reason: str | None = None
+    submitted_s: float = 0.0
+    started_s: float = 0.0
+    finished_s: float = 0.0
+    estimated_s: float = 0.0
+    exchanges: int = 0
+    deadline_s: float | None = None
+
+    @property
+    def latency_s(self) -> float:
+        """Submission-to-completion time (0 for rejected jobs)."""
+        return self.finished_s - self.submitted_s if self.status == "completed" else 0.0
+
+    @property
+    def wait_s(self) -> float:
+        """Time spent queued before Step I began."""
+        return self.started_s - self.submitted_s if self.status == "completed" else 0.0
+
+    @property
+    def deadline_met(self) -> bool | None:
+        """Whether the deadline held (None when no deadline was set)."""
+        if self.deadline_s is None or self.status != "completed":
+            return None
+        return self.finished_s - self.submitted_s <= self.deadline_s
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (derived fields included)."""
+        payload = dataclasses.asdict(self)
+        payload["latency_s"] = self.latency_s
+        payload["wait_s"] = self.wait_s
+        payload["deadline_met"] = self.deadline_met
+        return payload
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadReport:
+    """Aggregate result of one service run under one policy."""
+
+    policy: str
+    estimator: str
+    outcomes: tuple[JobOutcome, ...]
+    makespan_s: float
+    mean_latency_s: float
+    p95_latency_s: float
+    device_utilization: dict[str, float]
+    exchanges: int
+    deadline_misses: int
+    fault_events: int
+    fault_recovery_s: float
+    #: The run's observer for trace export; excluded from serialization
+    #: and comparisons, like ``JoinStats.observer``.
+    observer: "JoinObserver | None" = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def completed(self) -> tuple[JobOutcome, ...]:
+        """Outcomes that ran to completion."""
+        return tuple(o for o in self.outcomes if o.status == "completed")
+
+    @property
+    def rejected(self) -> tuple[JobOutcome, ...]:
+        """Outcomes refused at admission (with the planner's reason)."""
+        return tuple(o for o in self.outcomes if o.status == "rejected")
+
+    @property
+    def drive_utilization(self) -> dict[str, float]:
+        """Busy fraction over the makespan, tape drives only."""
+        return {
+            device: value
+            for device, value in self.device_utilization.items()
+            if device.startswith("drive")
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (observer omitted)."""
+        return {
+            "policy": self.policy,
+            "estimator": self.estimator,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "makespan_s": self.makespan_s,
+            "mean_latency_s": self.mean_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+            "device_utilization": dict(sorted(self.device_utilization.items())),
+            "exchanges": self.exchanges,
+            "deadline_misses": self.deadline_misses,
+            "fault_events": self.fault_events,
+            "fault_recovery_s": self.fault_recovery_s,
+        }
+
+    def render(self) -> str:
+        """Human-readable per-job table plus a summary block."""
+        rows = []
+        for outcome in self.outcomes:
+            if outcome.status == "completed":
+                rows.append(
+                    [
+                        outcome.name,
+                        outcome.symbol or "-",
+                        f"{outcome.wait_s:.0f}",
+                        f"{outcome.latency_s:.0f}",
+                        str(outcome.exchanges),
+                        "ok",
+                    ]
+                )
+            else:
+                rows.append([outcome.name, "-", "-", "-", "-", "rejected"])
+        table = format_table(
+            ["job", "method", "wait s", "latency s", "exchanges", "status"], rows
+        )
+        drives = ", ".join(
+            f"{name} {100 * value:.0f}%"
+            for name, value in sorted(self.drive_utilization.items())
+        )
+        summary = [
+            f"policy {self.policy} ({self.estimator} profiles): "
+            f"makespan {self.makespan_s:.0f} s, "
+            f"mean latency {self.mean_latency_s:.0f} s, "
+            f"p95 {self.p95_latency_s:.0f} s",
+            f"media exchanges: {self.exchanges}; drive utilization: {drives or '-'}",
+        ]
+        if self.rejected:
+            summary.append(f"rejected at admission: {len(self.rejected)} job(s)")
+        if self.fault_events:
+            summary.append(
+                f"faults: {self.fault_events} event(s), "
+                f"{self.fault_recovery_s:.0f} s recovery"
+            )
+        return "\n".join([table, *summary])

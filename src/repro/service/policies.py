@@ -1,0 +1,87 @@
+"""Scheduling policies: the order admitted joins are dispatched in.
+
+A policy is a pure reordering of the admitted batch — it never touches
+the clock or the broker, so every policy runs against exactly the same
+hardware model and differences in makespan/latency are attributable to
+ordering alone.
+
+* ``fifo`` — submission order (the baseline).
+* ``sjf`` — shortest job first by the planner's analytical cost
+  estimate for the chosen method (``repro.core.planner``), the
+  classic mean-latency optimizer for batch arrivals.
+* ``affinity`` — tape-affinity batching: jobs sharing a dimension
+  cartridge run back to back so the volume stays mounted, minimizing
+  robot exchanges (each swap costs an unload exchange plus a load).
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.service.scheduler import AdmittedJob
+
+
+class SchedulingPolicy:
+    """Base class: a named, deterministic batch reordering."""
+
+    name = "?"
+
+    def order(self, jobs: typing.Sequence["AdmittedJob"]) -> list["AdmittedJob"]:
+        """Return the dispatch order (a new list; input untouched)."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Dispatch in submission order (arrival time, then submit index)."""
+
+    name = "fifo"
+
+    def order(self, jobs):
+        """Sort by (arrival, submission index)."""
+        return sorted(jobs, key=lambda job: (job.request.arrival_s, job.index))
+
+
+class ShortestJobFirstPolicy(SchedulingPolicy):
+    """Dispatch cheapest-first by the planner's cost estimate."""
+
+    name = "sjf"
+
+    def order(self, jobs):
+        """Sort by (arrival, planner-estimated seconds, submission index)."""
+        return sorted(
+            jobs,
+            key=lambda job: (job.request.arrival_s, job.estimated_s, job.index),
+        )
+
+
+class TapeAffinityPolicy(SchedulingPolicy):
+    """Group jobs sharing a dimension cartridge; groups in FIFO order."""
+
+    name = "affinity"
+
+    def order(self, jobs):
+        """Sort by (group's first submission index, submission index)."""
+        first_index: dict[str, int] = {}
+        for job in sorted(jobs, key=lambda job: job.index):
+            first_index.setdefault(job.request.volume_r, job.index)
+        return sorted(
+            jobs,
+            key=lambda job: (first_index[job.request.volume_r], job.index),
+        )
+
+
+#: Registry of the built-in policies by name.
+POLICIES: dict[str, SchedulingPolicy] = {
+    policy.name: policy
+    for policy in (FifoPolicy(), ShortestJobFirstPolicy(), TapeAffinityPolicy())
+}
+
+
+def policy_by_name(name: str) -> SchedulingPolicy:
+    """Look up a policy, with the known names in the error."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise KeyError(f"unknown policy {name!r} (known: {known})") from None

@@ -1,0 +1,193 @@
+"""Service requests and shared-hardware configuration.
+
+A :class:`JoinRequest` names what a client wants joined — the dimension
+(R) and fact (S) tape volumes with their paper-scale sizes in MB — plus
+service constraints (priority, deadline, arrival).  A
+:class:`ServiceConfig` describes the hardware every request competes
+for: the drive pool, the disk array and memory budgets, and the media
+exchange latency charged by the library robot.
+
+Both are plain frozen dataclasses with JSON round-trips so service
+workloads can travel through the sweep engine's content-addressed cache
+(see ``repro.sweep.tasks.service_task``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.experiments.config import ExperimentScale
+    from repro.storage.disk import DiskParameters
+    from repro.storage.tape import TapeDriveParameters
+
+
+def _default_scale():
+    from repro.experiments.config import ExperimentScale
+
+    return ExperimentScale()
+
+
+def _default_tape():
+    from repro.experiments.config import BASE_TAPE
+
+    return BASE_TAPE
+
+
+def _default_disk():
+    from repro.experiments.config import DISK_1996
+
+    return DISK_1996
+
+
+@dataclasses.dataclass(frozen=True)
+class JoinRequest:
+    """One queued join: tape volumes, paper-scale sizes, constraints.
+
+    Sizes are in *paper MB* — the service's :class:`ServiceConfig.scale`
+    shrinks them exactly the way the experiment drivers do, so a request
+    written against the paper's geometry runs in seconds at scale 0.05.
+    ``r_volume`` names the cartridge holding R; requests sharing a
+    dimension tape MUST use the same ``r_volume`` *and* ``r_mb`` (one
+    cartridge holds one relation).  Volume names default to
+    ``<name>-R`` / ``<name>-S`` (private cartridges).
+    """
+
+    name: str
+    r_mb: float
+    s_mb: float
+    r_volume: str | None = None
+    s_volume: str | None = None
+    memory_mb: float | None = None
+    disk_mb: float | None = None
+    scratch_r_mb: float | None = None
+    scratch_s_mb: float | None = None
+    priority: int = 0
+    deadline_s: float | None = None
+    arrival_s: float = 0.0
+    method: str | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("a join request needs a name")
+        if self.r_mb <= 0 or self.s_mb <= 0:
+            raise ValueError(f"relation sizes must be positive ({self.name})")
+        if self.r_mb > self.s_mb:
+            raise ValueError(
+                f"request {self.name!r}: |R| must not exceed |S| "
+                f"({self.r_mb} MB > {self.s_mb} MB); swap the operands"
+            )
+        if self.arrival_s < 0:
+            raise ValueError(f"request {self.name!r}: arrival must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"request {self.name!r}: deadline must be positive")
+
+    @property
+    def volume_r(self) -> str:
+        """The cartridge holding R (defaults to a private one)."""
+        return self.r_volume or f"{self.name}-R"
+
+    @property
+    def volume_s(self) -> str:
+        """The cartridge holding S (defaults to a private one)."""
+        return self.s_volume or f"{self.name}-S"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (drops defaulted Nones for stable keys)."""
+        payload: dict = {"name": self.name, "r_mb": self.r_mb, "s_mb": self.s_mb}
+        for field in (
+            "r_volume",
+            "s_volume",
+            "memory_mb",
+            "disk_mb",
+            "scratch_r_mb",
+            "scratch_s_mb",
+            "deadline_s",
+            "method",
+        ):
+            value = getattr(self, field)
+            if value is not None:
+                payload[field] = value
+        if self.priority:
+            payload["priority"] = self.priority
+        if self.arrival_s:
+            payload["arrival_s"] = self.arrival_s
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JoinRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Shared hardware and admission defaults for one service run.
+
+    ``memory_mb``/``disk_mb`` are per-job defaults (a request may
+    override them); ``memory_total_mb``/``disk_total_mb`` bound the pool
+    the broker leases from and default to twice the per-job budget, so
+    two jobs' disk-resident phases can overlap.  Jobs whose needs exceed
+    the pool are rejected at admission — granting them would deadlock
+    the broker.  ``clamp_memory_floor`` applies the experiment drivers'
+    Grace Hash floor (``1.05 * sqrt(|R|)`` blocks) when scaling shrinks
+    memory below feasibility, mirroring ``repro.experiments.exp1``.
+    """
+
+    n_drives: int = 2
+    memory_mb: float = 16.0
+    disk_mb: float = 100.0
+    memory_total_mb: float | None = None
+    disk_total_mb: float | None = None
+    exchange_s: float = 30.0
+    clamp_memory_floor: bool = True
+    scale: "ExperimentScale" = dataclasses.field(default_factory=_default_scale)
+    tape: "TapeDriveParameters" = dataclasses.field(default_factory=_default_tape)
+    disk_params: "DiskParameters" = dataclasses.field(default_factory=_default_disk)
+
+    def __post_init__(self):
+        if self.n_drives < 1:
+            raise ValueError("the service needs at least one tape drive")
+        if self.memory_mb <= 0 or self.disk_mb <= 0:
+            raise ValueError("per-job memory and disk budgets must be positive")
+        if self.exchange_s < 0:
+            raise ValueError("exchange time must be non-negative")
+
+    @property
+    def pool_memory_mb(self) -> float:
+        """Total memory the broker leases from (paper MB)."""
+        return self.memory_total_mb or 2.0 * self.memory_mb
+
+    @property
+    def pool_disk_mb(self) -> float:
+        """Total disk the broker leases from (paper MB)."""
+        return self.disk_total_mb or 2.0 * self.disk_mb
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, stable under cache fingerprinting."""
+        from repro.sweep.serialize import disk_to_dict, scale_to_dict, tape_to_dict
+
+        return {
+            "n_drives": self.n_drives,
+            "memory_mb": self.memory_mb,
+            "disk_mb": self.disk_mb,
+            "memory_total_mb": self.pool_memory_mb,
+            "disk_total_mb": self.pool_disk_mb,
+            "exchange_s": self.exchange_s,
+            "clamp_memory_floor": self.clamp_memory_floor,
+            "scale": scale_to_dict(self.scale),
+            "tape": tape_to_dict(self.tape),
+            "disk_params": disk_to_dict(self.disk_params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServiceConfig":
+        """Inverse of :meth:`to_dict`."""
+        from repro.sweep.serialize import disk_from_dict, scale_from_dict, tape_from_dict
+
+        payload = dict(payload)
+        payload["scale"] = scale_from_dict(payload["scale"])
+        payload["tape"] = tape_from_dict(payload["tape"])
+        payload["disk_params"] = disk_from_dict(payload["disk_params"])
+        return cls(**payload)

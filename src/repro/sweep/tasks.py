@@ -13,7 +13,10 @@ Task kinds:
   :class:`~repro.core.spec.JoinStats` (or an infeasibility marker);
 * ``figure4`` — run one traced CTT-GH join and return the derived disk
   buffer-utilization series (traces themselves are not cacheable);
-* ``assumption`` — one of the Section 3.2 assumption measurements.
+* ``assumption`` — one of the Section 3.2 assumption measurements;
+* ``service`` — run one multi-join workload through the scheduler
+  service (``repro.service``) under one policy, returning the
+  serialized :class:`~repro.service.metrics.WorkloadReport`.
 """
 
 from __future__ import annotations
@@ -132,6 +135,38 @@ def assumption_task(check: str, **kwargs) -> SweepTask:
     return SweepTask("assumption", payload)
 
 
+def service_task(
+    policy: str,
+    requests: typing.Sequence,
+    config,
+    estimator: str = "analytical",
+    fault_plan=None,
+    retry_policy=None,
+) -> SweepTask:
+    """A task running one service workload under one policy.
+
+    ``requests`` are :class:`~repro.service.requests.JoinRequest`\\ s and
+    ``config`` a :class:`~repro.service.requests.ServiceConfig`; both
+    serialize losslessly, so the fingerprint covers the whole workload.
+    As with ``join`` tasks, the fault payload key exists only when a
+    plan is given — fault-free service fingerprints never change.
+    """
+    if fault_plan is not None:
+        estimator = "simulated"  # faults only surface in simulated profiles
+    payload = {
+        "policy": policy,
+        "estimator": estimator,
+        "requests": [request.to_dict() for request in requests],
+        "config": config.to_dict(),
+    }
+    if fault_plan is not None:
+        payload["faults"] = {
+            "plan": fault_plan.to_dict(),
+            "policy": None if retry_policy is None else retry_policy.to_dict(),
+        }
+    return SweepTask("service", payload)
+
+
 def _encode_param(value):
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return dataclasses.asdict(value)
@@ -201,11 +236,7 @@ def _run_join_task(payload: dict) -> dict:
     fault_plan = retry_policy = None
     faults = payload.get("faults")
     if faults is not None:
-        from repro.faults import FaultPlan, RetryPolicy
-
-        fault_plan = FaultPlan.from_dict(faults["plan"])
-        if faults.get("policy") is not None:
-            retry_policy = RetryPolicy.from_dict(faults["policy"])
+        fault_plan, retry_policy = _faults_from_payload(faults)
     try:
         stats = run_join(
             payload["symbol"],
@@ -223,6 +254,38 @@ def _run_join_task(payload: dict) -> dict:
     except InfeasibleJoinError as exc:
         return {"infeasible": True, "error": str(exc)}
     return {"infeasible": False, "stats": stats_to_dict(stats)}
+
+
+def _faults_from_payload(faults: dict):
+    from repro.faults.plan import FaultPlan
+    from repro.faults.policy import RetryPolicy
+
+    fault_plan = FaultPlan.from_dict(faults["plan"])
+    retry_policy = None
+    if faults.get("policy") is not None:
+        retry_policy = RetryPolicy.from_dict(faults["policy"])
+    return fault_plan, retry_policy
+
+
+def _run_service_task(payload: dict) -> dict:
+    # Lazy: the service package imports the planner and experiment
+    # config; workers that never see a service task never pay for it.
+    from repro.service.requests import JoinRequest, ServiceConfig
+    from repro.service.scheduler import run_service
+
+    fault_plan = retry_policy = None
+    faults = payload.get("faults")
+    if faults is not None:
+        fault_plan, retry_policy = _faults_from_payload(faults)
+    report = run_service(
+        [JoinRequest.from_dict(entry) for entry in payload["requests"]],
+        config=ServiceConfig.from_dict(payload["config"]),
+        policy=payload["policy"],
+        estimator=payload.get("estimator", "analytical"),
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+    return report.to_dict()
 
 
 def _run_figure4_task(payload: dict) -> dict:
@@ -314,6 +377,7 @@ _EXECUTORS: dict[str, typing.Callable[[dict], dict]] = {
     "figure4": _run_figure4_task,
     "assumption": _run_assumption_task,
     "selftest": _run_selftest_task,
+    "service": _run_service_task,
 }
 
 

@@ -12,14 +12,14 @@ import pytest
 from repro.core.base import guard_overflow_restart
 from repro.experiments.harness import run_join
 from repro.faults import (
-    FaultPlan,
     JoinCheckpoint,
     NonRestartableError,
     RetryExhaustedError,
-    RetryPolicy,
     UnitRestartLimitError,
     run_unit,
 )
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 from repro.simulator.engine import Simulator
 from repro.simulator.process import ProcessCrash
 

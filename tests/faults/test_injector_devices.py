@@ -6,12 +6,12 @@ from repro.faults import (
     DiskTransientError,
     ErrorBudgetExceededError,
     FaultInjector,
-    FaultPlan,
     MediaError,
     RetryExhaustedError,
-    RetryPolicy,
     TapeSoftReadError,
 )
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 from repro.storage.block import MB, BlockSpec
 from repro.storage.bus import Bus
 

@@ -13,8 +13,9 @@ import pytest
 
 from repro.experiments.config import ExperimentScale
 from repro.experiments.exp1 import run_experiment1
-from repro.faults import FaultPlan, RetryPolicy
-from repro.sweep import SweepRunner
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.sweep.runner import SweepRunner
 
 SCALE = 0.05  # small enough to keep four full Table 3 runs quick
 

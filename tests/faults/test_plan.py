@@ -6,7 +6,8 @@ import sys
 
 import pytest
 
-from repro.faults import OP_KINDS, FaultInjector, FaultPlan
+from repro.faults import OP_KINDS, FaultInjector
+from repro.faults.plan import FaultPlan
 
 #: Verdict stream long enough to contain errors, stalls and clean ops.
 N_DRAWS = 200
@@ -107,7 +108,8 @@ class TestDeterministicReplay:
         plan = FaultPlan.uniform(0.1, seed=31)
         script = (
             "import json, sys\n"
-            "from repro.faults import FaultInjector, FaultPlan\n"
+            "from repro.faults import FaultInjector\n"
+            "from repro.faults.plan import FaultPlan\n"
             "plan = FaultPlan.from_dict(json.loads(sys.argv[1]))\n"
             "inj = FaultInjector(None, plan)\n"
             f"out = [inj.decide('t0', 'tape-read') for _ in range({N_DRAWS})]\n"

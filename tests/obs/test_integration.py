@@ -11,7 +11,8 @@ import pytest
 
 from repro.core.registry import method_by_symbol
 from repro.core.spec import JoinSpec
-from repro.faults import FaultPlan, RetryPolicy
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 from repro.obs.metrics import buffer_utilization, device_utilization, overlap_fraction
 from repro.obs.recorder import JoinObserver
 from repro.storage.block import BlockSpec

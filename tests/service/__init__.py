@@ -1,0 +1,1 @@
+"""Tests for the multi-join scheduler service and the repro.api facade."""

@@ -1,0 +1,25 @@
+"""Shared fixtures: a scaled-down service config and canned workloads."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.exp5_service import service_workload
+from repro.service.requests import ServiceConfig
+
+
+@pytest.fixture
+def scale() -> ExperimentScale:
+    """The fast test scale used throughout the experiment suite."""
+    return ExperimentScale(scale=0.05)
+
+
+@pytest.fixture
+def config(scale) -> ServiceConfig:
+    """A two-drive service at test scale."""
+    return ServiceConfig(scale=scale)
+
+
+@pytest.fixture
+def workload10():
+    """The canonical 10-job mixed workload from experiment 5."""
+    return service_workload(10)

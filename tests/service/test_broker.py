@@ -1,0 +1,113 @@
+"""Resource broker: drive leasing, cartridge exclusivity, mount accounting."""
+
+import pytest
+
+from repro.service.broker import ResourceBroker
+
+
+@pytest.fixture
+def broker(sim):
+    b = ResourceBroker(sim, n_drives=2, memory_blocks=100.0, disk_blocks=100.0)
+    for volume in ("alpha", "beta", "gamma"):
+        b.register_volume(volume)
+    return b
+
+
+def run(sim, gen):
+    return sim.run(sim.process(gen))
+
+
+class TestLeasing:
+    def test_uncontended_acquire_grants_distinct_drives(self, sim, broker):
+        def proc():
+            leases = yield broker.acquire(["alpha", "beta"])
+            assert [lease.volume for lease in leases] == ["alpha", "beta"]
+            assert leases[0].drive is not leases[1].drive
+            broker.release(leases)
+
+        run(sim, proc())
+
+    def test_cartridge_exclusive_across_leases(self, sim, broker):
+        """Two jobs can never hold the same physical cartridge at once."""
+        timeline = []
+
+        def first():
+            leases = yield broker.acquire(["alpha"])
+            yield from broker.mount(leases[0], "alpha")
+            yield sim.timeout(100.0)
+            timeline.append(("first-release", sim.now))
+            broker.release(leases)
+
+        def second():
+            leases = yield broker.acquire(["alpha"])
+            timeline.append(("second-granted", sim.now))
+            broker.release(leases)
+
+        sim.process(first())
+        sim.process(second())
+        sim.run()
+        events = dict(timeline)
+        assert events["second-granted"] >= events["first-release"]
+
+    def test_grants_are_fifo(self, sim, broker):
+        """A later small request cannot overtake an earlier blocked one."""
+        order = []
+
+        def hog():
+            leases = yield broker.acquire(["alpha", "beta"])
+            yield sim.timeout(10.0)
+            broker.release(leases)
+
+        def waiter(name, volume):
+            leases = yield broker.acquire([volume])
+            order.append(name)
+            yield sim.timeout(1.0)
+            broker.release(leases)
+
+        sim.process(hog())
+        sim.process(waiter("w1", "gamma"))
+        sim.process(waiter("w2", "beta"))
+        sim.run()
+        assert order == ["w1", "w2"]
+
+
+class TestMounting:
+    def test_first_mount_costs_one_exchange(self, sim, broker):
+        def proc():
+            leases = yield broker.acquire(["alpha"])
+            moved = yield from broker.mount(leases[0], "alpha")
+            assert moved == 1
+            broker.release(leases)
+
+        run(sim, proc())
+        assert broker.exchanges == 1
+        assert sim.now > 0
+
+    def test_remount_of_mounted_volume_is_free(self, sim, broker):
+        def proc():
+            leases = yield broker.acquire(["alpha"])
+            yield from broker.mount(leases[0], "alpha")
+            moved = yield from broker.mount(leases[0], "alpha")
+            assert moved == 0
+            broker.release(leases)
+
+        run(sim, proc())
+        assert broker.exchanges == 1
+
+    def test_affinity_reacquires_the_holder_drive(self, sim, broker):
+        """A released cartridge's drive is preferred, avoiding a swap."""
+
+        def proc():
+            leases = yield broker.acquire(["alpha"])
+            first_drive = leases[0].drive
+            yield from broker.mount(leases[0], "alpha")
+            broker.release(leases)
+
+            leases = yield broker.acquire(["alpha"])
+            assert leases[0].drive is first_drive
+            moved = yield from broker.mount(leases[0], "alpha")
+            assert moved == 0
+            broker.release(leases)
+
+        run(sim, proc())
+        assert broker.exchanges == 1

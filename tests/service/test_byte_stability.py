@@ -1,0 +1,89 @@
+"""Byte-stability of the pre-refactor artifacts across the api redesign.
+
+The facade, the deprecation shims and the import migration must not
+perturb a single simulated number: each hash below is the sha256 of the
+canonical JSON of an artifact, recorded on the commit *before* this
+refactor ("Add device-utilization observability layer...").  A mismatch
+means the refactor changed experiment output — a regression, not a
+baseline to re-record.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.config import BASE_TAPE, DISK_1996, ExperimentScale
+from repro.storage.block import BlockSpec
+
+#: sha256(json.dumps(artifact, sort_keys=True)) at the pre-refactor commit.
+BASELINES = {
+    "table3": "d2945c666845f44f83ff4dcbf8a36429478267ee69cfcdb6f5fe6a27300a79db",
+    "fig4": "19b707fe34faef22176fa643495f12933ace3e6282140557d76984552906d6df",
+    "fig5": "a7b453d24888cd79d8aa7ede901065ee4e67c034cded70a077ca8ab04eafbb8e",
+    "exp3": "c319662c6ce197621f86f6d90da04d2a95b9d479645e46438261ee10536369f6",
+    "exp4": "8f3ed14f838d834670ef808a2052f954ce5a3f10a800dd85e94f51ff6794a9c4",
+}
+
+#: The recorded fingerprint of a canonical join task — cache entries
+#: written before the refactor must still be addressable.
+JOIN_TASK_FINGERPRINT = (
+    "6240a682ac46b80b58a1b50ae99d50ee4cba02678bb9d91d257f80b27271a031"
+)
+
+
+def digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def scale_8k():
+    return ExperimentScale(scale=0.05, tuple_bytes=8192)
+
+
+@pytest.fixture(scope="module")
+def scale_2k():
+    return ExperimentScale(scale=0.05)
+
+
+class TestArtifactBytes:
+    def test_table3(self, scale_8k):
+        from repro.experiments.exp1 import run_experiment1
+
+        assert digest(run_experiment1(scale=scale_8k).to_dict()) == BASELINES["table3"]
+
+    def test_fig4(self, scale_8k):
+        from repro.experiments.exp1 import run_figure4
+
+        assert digest(run_figure4(scale=scale_8k).to_dict()) == BASELINES["fig4"]
+
+    def test_fig5(self, scale_2k):
+        from repro.experiments.exp2 import run_experiment2
+
+        assert digest(run_experiment2(scale=scale_2k).to_dict()) == BASELINES["fig5"]
+
+    def test_exp3(self, scale_2k):
+        from repro.experiments.exp3 import run_experiment3
+
+        result = run_experiment3("base", scale=scale_2k)
+        assert digest(result.to_dict(BlockSpec())) == BASELINES["exp3"]
+
+    def test_exp4(self, scale_2k):
+        from repro.experiments.exp4_faults import run_experiment4
+
+        result = run_experiment4(scale=scale_2k, max_rate=0.01, fault_seed=0)
+        assert digest(result.to_dict()) == BASELINES["exp4"]
+
+
+class TestCacheAddressing:
+    def test_join_task_fingerprint_is_unchanged(self, scale_8k):
+        from repro.sweep import task_fingerprint
+        from repro.sweep.tasks import join_task
+
+        task = join_task(
+            "CTT-GH", 500.0, 1000.0, memory_blocks=100.0, disk_blocks=120.0,
+            tape=BASE_TAPE, disk_params=DISK_1996, scale=scale_8k,
+        )
+        assert task_fingerprint(task.kind, task.payload) == JOIN_TASK_FINGERPRINT

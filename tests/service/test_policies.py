@@ -1,0 +1,64 @@
+"""Scheduling policies: SJF tracks the planner, affinity groups volumes."""
+
+import pytest
+
+from repro.core.planner import plan_join
+from repro.service.policies import POLICIES, policy_by_name
+from repro.service.scheduler import JoinService
+
+
+@pytest.fixture
+def admitted(config, workload10):
+    service = JoinService(config)
+    for request in workload10:
+        service.submit(request)
+    jobs, rejected = service.admit()
+    assert not rejected
+    return jobs
+
+
+class TestSjf:
+    def test_order_matches_planner_ranking(self, admitted):
+        """SJF dispatch order is exactly ascending planner estimates."""
+        ordered = policy_by_name("sjf").order(admitted)
+        estimates = [job.estimated_s for job in ordered]
+        assert estimates == sorted(estimates)
+        # and each job's estimate is the planner's own number for its
+        # chosen method, not a re-derivation
+        for job in admitted:
+            plan = plan_join(job.spec)
+            chosen = {entry.symbol: entry.estimated_s for entry in plan.ranked}
+            assert job.estimated_s == chosen[job.symbol]
+
+    def test_ties_fall_back_to_submission_order(self, admitted):
+        for job in admitted:
+            job.estimated_s = 1.0
+        ordered = policy_by_name("sjf").order(admitted)
+        assert [job.index for job in ordered] == sorted(j.index for j in admitted)
+
+
+class TestAffinity:
+    def test_groups_jobs_by_dimension_volume(self, admitted):
+        """All dim-a jobs run back to back, then all dim-b jobs."""
+        ordered = policy_by_name("affinity").order(admitted)
+        volumes = [job.request.volume_r for job in ordered]
+        assert volumes == ["dim-a"] * 5 + ["dim-b"] * 5
+
+    def test_within_a_group_submission_order_holds(self, admitted):
+        ordered = policy_by_name("affinity").order(admitted)
+        for volume in ("dim-a", "dim-b"):
+            indices = [j.index for j in ordered if j.request.volume_r == volume]
+            assert indices == sorted(indices)
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert set(POLICIES) == {"fifo", "sjf", "affinity"}
+
+    def test_fifo_is_submission_order(self, admitted):
+        ordered = policy_by_name("fifo").order(list(reversed(admitted)))
+        assert [job.index for job in ordered] == sorted(j.index for j in admitted)
+
+    def test_unknown_policy_lists_the_known_ones(self):
+        with pytest.raises(KeyError, match="affinity, fifo, sjf"):
+            policy_by_name("priority")

@@ -1,0 +1,61 @@
+"""JoinRequest / ServiceConfig validation and serialization."""
+
+import pytest
+
+from repro.service.requests import JoinRequest, ServiceConfig
+
+
+class TestJoinRequest:
+    def test_defaults_and_volume_names(self):
+        request = JoinRequest(name="q1", r_mb=10.0, s_mb=40.0)
+        assert request.volume_r == "q1-R"
+        assert request.volume_s == "q1-S"
+        assert request.arrival_s == 0.0
+
+    def test_explicit_volumes_win(self):
+        request = JoinRequest(name="q1", r_mb=10.0, s_mb=40.0, r_volume="dim")
+        assert request.volume_r == "dim"
+        assert request.volume_s == "q1-S"
+
+    def test_r_must_not_exceed_s(self):
+        with pytest.raises(ValueError, match="must not exceed"):
+            JoinRequest(name="q1", r_mb=50.0, s_mb=40.0)
+
+    def test_sizes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            JoinRequest(name="q1", r_mb=0.0, s_mb=40.0)
+
+    def test_arrival_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            JoinRequest(name="q1", r_mb=1.0, s_mb=4.0, arrival_s=-1.0)
+
+    def test_dict_round_trip(self):
+        request = JoinRequest(
+            name="q1", r_mb=10.0, s_mb=40.0, r_volume="dim",
+            memory_mb=4.0, deadline_s=1000.0, arrival_s=5.0,
+        )
+        assert JoinRequest.from_dict(request.to_dict()) == request
+
+    def test_to_dict_drops_defaults(self):
+        payload = JoinRequest(name="q1", r_mb=10.0, s_mb=40.0).to_dict()
+        assert "deadline_s" not in payload
+        assert "arrival_s" not in payload
+
+
+class TestServiceConfig:
+    def test_pool_defaults_to_twice_per_job(self):
+        config = ServiceConfig(memory_mb=8.0, disk_mb=50.0)
+        assert config.pool_memory_mb == 16.0
+        assert config.pool_disk_mb == 100.0
+
+    def test_explicit_pools_win(self):
+        config = ServiceConfig(memory_mb=8.0, memory_total_mb=40.0)
+        assert config.pool_memory_mb == 40.0
+
+    def test_dict_round_trip(self, config):
+        restored = ServiceConfig.from_dict(config.to_dict())
+        # Pools serialize resolved (explicit sizes fingerprint better), so
+        # compare the resolved views rather than raw fields.
+        assert restored.pool_memory_mb == config.pool_memory_mb
+        assert restored.pool_disk_mb == config.pool_disk_mb
+        assert restored.to_dict() == config.to_dict()

@@ -2,7 +2,8 @@
 
 import json
 
-from repro.sweep import SweepCache, task_fingerprint
+from repro.sweep import task_fingerprint
+from repro.sweep.cache import SweepCache
 
 FP = task_fingerprint("join", {"symbol": "TT-GH", "memory_blocks": 4.0})
 

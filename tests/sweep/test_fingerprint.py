@@ -3,7 +3,8 @@
 import pytest
 
 from repro.experiments.config import BASE_TAPE, DISK_1996, ExperimentScale
-from repro.sweep import CODE_VERSION, canonical_json, join_task, task_fingerprint
+from repro.sweep import CODE_VERSION, canonical_json, task_fingerprint
+from repro.sweep.tasks import join_task
 
 
 def make_task(**overrides):

@@ -11,7 +11,8 @@ import concurrent.futures
 import pytest
 
 import repro.sweep.runner as runner_mod
-from repro.sweep import SweepRunner, SweepTask
+from repro.sweep.runner import SweepRunner
+from repro.sweep.tasks import SweepTask
 from repro.sweep.cache import SweepCache
 from repro.sweep.fingerprint import task_fingerprint
 

@@ -11,7 +11,8 @@ import pytest
 from repro.experiments.config import ExperimentScale
 from repro.experiments.exp2 import run_experiment2
 from repro.experiments.exp3 import run_experiment3
-from repro.sweep import SweepCache, SweepRunner
+from repro.sweep.cache import SweepCache
+from repro.sweep.runner import SweepRunner
 
 SCALE = ExperimentScale(scale=0.1)
 

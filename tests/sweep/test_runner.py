@@ -1,7 +1,10 @@
 """Runner semantics: cache short-circuit, dedup, ordering, progress."""
 
 import repro.sweep.runner as runner_mod
-from repro.sweep import SweepCache, SweepRunner, SweepTask, task_fingerprint
+from repro.sweep import task_fingerprint
+from repro.sweep.cache import SweepCache
+from repro.sweep.runner import SweepRunner
+from repro.sweep.tasks import SweepTask
 
 
 def tracking_execute(calls):

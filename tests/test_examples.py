@@ -41,3 +41,34 @@ def test_public_api_quickstart_snippet():
     stats = repro.method_by_symbol(plan.chosen).run(spec)
     assert stats.response_s > 0
     assert stats.output == repro.reference_join(r, s)
+
+
+def test_tape_library_batch_makespan_matches_fifo_service(capsys):
+    """The night batch runs FIFO: its printed makespan must equal a
+    direct FIFO service run of the same backlog."""
+    from repro import api
+
+    namespace = runpy.run_path(str(EXAMPLES / "tape_library_batch.py"))
+    report = namespace["night_batch_report"]("fifo")
+    assert report.policy == "fifo"
+
+    namespace["main"]()
+    out = capsys.readouterr().out
+    (line,) = [l for l in out.splitlines() if "night batch makespan" in l]
+    assert f"{report.makespan_s:.0f} s" in line
+
+    direct = api.run_service(
+        [
+            api.JoinRequest(
+                name=month,
+                r_mb=namespace["DIMENSION_MB"],
+                s_mb=fact_mb,
+                r_volume="dimension",
+                s_volume=f"facts-{month}",
+            )
+            for month, fact_mb in namespace["MONTHS"]
+        ],
+        config=api.ServiceConfig(n_drives=2, memory_mb=16.0, disk_mb=160.0),
+        policy="fifo",
+    )
+    assert direct.makespan_s == report.makespan_s
