@@ -28,11 +28,14 @@ Subpackages:
 * :mod:`repro.storage` — tape/disk/bus/library device models.
 * :mod:`repro.buffering` — Section 4's buffering techniques.
 * :mod:`repro.relational` — relations, data generators, join primitives.
-* :mod:`repro.experiments` — the paper's Experiments 1–5 and figures.
+* :mod:`repro.experiments` — the paper's Experiments 1–5, figures, and
+  the cache-payoff Experiment 6.
 * :mod:`repro.service` — the multi-join tape-library scheduler service.
+* :mod:`repro.hsm` — the disk-resident partition cache (HSM layer) for
+  cross-join tape reuse.
 * :mod:`repro.api` — the one-stop facade (``run_join``, ``plan``,
-  ``sweep``, ``trace``, ``run_service``); everything it exports is also
-  re-exported here.
+  ``sweep``/``run_sweep``, ``trace``, ``run_service``); everything it
+  exports is also re-exported here (``sweep`` as ``run_sweep``).
 """
 
 from repro.core import (
@@ -59,17 +62,21 @@ from repro.storage import BlockSpec, DiskParameters, TapeDriveParameters
 from repro import api
 # The facade's entry points, re-exported for `repro.run_join(...)`-style
 # use.  `api.sweep` is deliberately NOT re-exported here: the name would
-# shadow the `repro.sweep` subpackage on the package object.
+# shadow the `repro.sweep` subpackage on the package object — use the
+# `run_sweep` alias instead (same callable; see docs/sweep.md).
 from repro.api import (
+    CacheConfig,
     FaultPlan,
     JoinRequest,
     JoinService,
+    PartitionCache,
     RetryPolicy,
     ServiceConfig,
     WorkloadReport,
     plan,
     run_join,
     run_service,
+    run_sweep,
     submit,
     trace,
 )
@@ -79,6 +86,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_METHODS",
     "BlockSpec",
+    "CacheConfig",
     "DiskParameters",
     "FaultPlan",
     "InfeasibleJoinError",
@@ -87,6 +95,7 @@ __all__ = [
     "JoinService",
     "JoinSpec",
     "JoinStats",
+    "PartitionCache",
     "Relation",
     "RetryPolicy",
     "Schema",
@@ -105,6 +114,7 @@ __all__ = [
     "reference_join",
     "run_join",
     "run_service",
+    "run_sweep",
     "self_join_relation",
     "submit",
     "symbols",

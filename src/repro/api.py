@@ -37,6 +37,7 @@ from repro.core.registry import method_by_symbol
 from repro.core.spec import InfeasibleJoinError, JoinSpec, JoinStats
 from repro.faults.plan import FaultPlan
 from repro.faults.policy import RetryPolicy
+from repro.hsm.cache import CacheConfig, CacheReport, PartitionCache
 from repro.obs.export import write_chrome_trace, write_jsonl
 from repro.obs.recorder import JoinObserver
 from repro.service import (
@@ -52,6 +53,7 @@ from repro.sweep.tasks import (
     SweepTask,
     assumption_task,
     figure4_task,
+    hsm_task,
     join_task,
     service_task,
 )
@@ -143,11 +145,19 @@ def sweep(
 
     ``cache_dir=None`` disables the content-addressed result cache.
     Build tasks with :func:`join_task`, :func:`figure4_task`,
-    :func:`assumption_task` or :func:`service_task`.
+    :func:`assumption_task`, :func:`service_task` or :func:`hsm_task`.
     """
     cache = SweepCache(cache_dir) if cache_dir else None
     runner = SweepRunner(jobs=jobs, cache=cache, progress=progress)
     return runner.run(list(tasks))
+
+
+#: Alias of :func:`sweep` for package-root use: ``repro.run_sweep(...)``.
+#: The package root cannot re-export a name called ``sweep`` (it would
+#: shadow the ``repro.sweep`` subpackage on the package object), so the
+#: facade offers both spellings and the root re-exports this one.  See
+#: docs/sweep.md ("Naming").
+run_sweep = sweep
 
 
 def trace(
@@ -196,6 +206,8 @@ def submit(service: JoinService, request: JoinRequest | None = None, **kwargs):
 
 
 __all__ = [
+    "CacheConfig",
+    "CacheReport",
     "DEFAULT_CACHE_DIR",
     "DEPRECATED_IMPORTS",
     "FaultPlan",
@@ -205,6 +217,7 @@ __all__ = [
     "JoinService",
     "JoinSpec",
     "JoinStats",
+    "PartitionCache",
     "RetryPolicy",
     "ServiceConfig",
     "SweepCache",
@@ -213,10 +226,12 @@ __all__ = [
     "WorkloadReport",
     "assumption_task",
     "figure4_task",
+    "hsm_task",
     "join_task",
     "plan",
     "run_join",
     "run_service",
+    "run_sweep",
     "service_task",
     "submit",
     "sweep",

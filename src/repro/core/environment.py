@@ -88,6 +88,13 @@ class JoinEnvironment:
         self.iterations = 0
         self.r_scans = 0.0
         self.overflow_buckets = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_saved_blocks = 0.0
+        self.cache_saved_s = 0.0
+        # Partition sets pinned on behalf of this join; released when the
+        # join finalizes, so the catalog never evicts in-flight buckets.
+        self._cache_pins = []
 
     # -- convenient device handles ------------------------------------------------
 
@@ -134,12 +141,78 @@ class JoinEnvironment:
         """Record one hash bucket processed via the spill (overflow) path."""
         self.overflow_buckets += 1
 
+    # -- partition cache (repro.hsm) ------------------------------------------------
+
+    def cached_r_partition(self, n_buckets: int) -> list | None:
+        """Step I shortcut: install R's cached partition, if resident.
+
+        Returns the B bucket extents on a hit — in zero simulated time,
+        via :meth:`~repro.storage.disk_array.DiskArray.install`, since
+        the content is already disk-resident — or None on a miss (or
+        with no cache attached).  A hit pins the set until the join
+        finalizes, so the catalog cannot evict in-flight buckets.
+        """
+        cache = self.spec.partition_cache
+        if cache is None:
+            return None
+        key = cache.r_partition_key(self.spec.relation_r, n_buckets)
+        entries = cache.lookup(key)
+        if entries is None:
+            self.cache_misses += 1
+            if self.observer is not None:
+                self.observer.count("cache.miss")
+            return None
+        self._cache_pins.append(key)
+        buckets = []
+        for index, entry in enumerate(entries):
+            extent = self.array.allocate(f"R.b{index}")
+            if entry.data is not None and entry.data.n_tuples > 0:
+                self.array.install(extent, entry.data)
+            buckets.append(extent)
+        self.cache_hits += 1
+        self.cache_saved_blocks += self.spec.size_r_blocks
+        self.cache_saved_s += self.spec.size_r_blocks / self.spec.tape_rate_r_blocks_s
+        if self.observer is not None:
+            self.observer.count("cache.hit")
+            self.observer.span(
+                "cache hit: R partition", self.sim.now, self.sim.now, cat="cache"
+            )
+        self.mark_step1_done()
+        return buckets
+
+    def offer_r_partition(self, n_buckets: int, r_buckets: list) -> None:
+        """Populate the cache with Step I's freshly written partition.
+
+        The admitted set is valued at the tape-read time a future hit
+        saves and pinned until this join finalizes: the extents it
+        mirrors are still being read by Step II, so they must not be
+        eviction candidates while the join is in flight.
+        """
+        cache = self.spec.partition_cache
+        if cache is None:
+            return
+        key = cache.r_partition_key(self.spec.relation_r, n_buckets)
+        admitted = cache.admit(
+            key,
+            [(extent.n_blocks, extent.peek_all()) for extent in r_buckets],
+            value_s=self.spec.size_r_blocks / self.spec.tape_rate_r_blocks_s,
+        )
+        if admitted:
+            cache.catalog.pin(key)
+            self._cache_pins.append(key)
+            if self.observer is not None:
+                self.observer.count("cache.admit")
+
     def finalize(self, method_name: str, method_symbol: str) -> JoinStats:
         """Snapshot all counters into a :class:`JoinStats`."""
         spec = self.spec
         drive_r, drive_s = self.drive_r, self.drive_s
         vol_r, vol_s = drive_r.volume, drive_s.volume
         response = self.sim.now
+        if spec.partition_cache is not None:
+            for key in self._cache_pins:
+                spec.partition_cache.unpin(key)
+            self._cache_pins.clear()
         obs_summary = None
         if self.observer is not None and spec.trace_devices:
             from repro.obs.metrics import summarize
@@ -176,6 +249,10 @@ class JoinEnvironment:
             fault_delay_s=self.faults.stats.delay_s if self.faults else 0.0,
             bucket_restarts=self.checkpoint.restarts,
             restart_lost_s=self.checkpoint.lost_s,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_saved_blocks=self.cache_saved_blocks,
+            cache_saved_s=self.cache_saved_s,
             traces=self.trace,
             obs_summary=obs_summary,
             observer=self.observer,

@@ -58,7 +58,16 @@ class _GraceHashBase(TertiaryJoinMethod):
     def _partition_r(
         self, env: JoinEnvironment, layout: GraceHashLayout, overlap: bool
     ) -> list:
-        """Step I: read R from tape, hash into B bucket extents on disk."""
+        """Step I: read R from tape, hash into B bucket extents on disk.
+
+        With a partition cache attached (``repro.hsm``), a resident
+        partition set short-circuits the whole step — no tape read, no
+        partition write, no R scan counted — and a miss offers the
+        freshly written buckets to the catalog on the way out.
+        """
+        cached = env.cached_r_partition(layout.n_buckets)
+        if cached is not None:
+            return cached
         spec = env.spec
         r_buckets = [env.array.allocate(f"R.b{b}") for b in range(layout.n_buckets)]
         stager = BucketStager(
@@ -82,6 +91,7 @@ class _GraceHashBase(TertiaryJoinMethod):
             yield from stager.drain()
         env.count_r_scan()
         env.mark_step1_done()
+        env.offer_r_partition(layout.n_buckets, r_buckets)
         return r_buckets
 
     def _s_chunk_blocks(self, spec: JoinSpec) -> float:

@@ -24,6 +24,7 @@ from repro.storage.tape import TapeDriveParameters
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
     from repro.faults.policy import RetryPolicy
+    from repro.hsm.cache import PartitionCache
     from repro.obs.recorder import JoinObserver
 
 
@@ -73,6 +74,12 @@ class JoinSpec:
     fault_plan: "FaultPlan | None" = None
     #: Recovery policy for injected faults (None = RetryPolicy defaults).
     retry_policy: "RetryPolicy | None" = None
+    #: Optional cross-join partition cache (``repro.hsm``).  None keeps
+    #: the original single-join behaviour; a cache lets Grace-Hash
+    #: Step I skip the tape read + partition write when this relation's
+    #: partition is already disk-resident, and populate the catalog as
+    #: a side effect when it is not.
+    partition_cache: "PartitionCache | None" = None
 
     def __post_init__(self):
         if self.relation_r.spec != self.relation_s.spec:
@@ -209,6 +216,15 @@ class JoinStats:
     bucket_restarts: int = 0
     #: Simulated seconds of unit work discarded by those restarts.
     restart_lost_s: float = 0.0
+    #: Partition-cache lookups that found the R partition disk-resident
+    #: (``repro.hsm``; 0 on cache-less runs).
+    cache_hits: int = 0
+    #: Partition-cache lookups that fell through to the tape read.
+    cache_misses: int = 0
+    #: Tape blocks whose read was avoided by cache hits.
+    cache_saved_blocks: float = 0.0
+    #: Simulated seconds of Step I avoided by cache hits.
+    cache_saved_s: float = 0.0
     traces: TraceCollector | None = None
     #: Compact derived metrics from the observability layer (device
     #: utilization, overlap fractions, queue depths) — present only when
@@ -291,6 +307,16 @@ class JoinStats:
         }
         if self.obs_summary is not None:
             payload["observability"] = self.obs_summary
+        # Present only when a partition cache was attached and consulted,
+        # so cache-less artifacts stay byte-identical to builds without
+        # the HSM layer.
+        if self.cache_hits or self.cache_misses:
+            payload["partition_cache"] = {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "saved_blocks": self.cache_saved_blocks,
+                "saved_s": self.cache_saved_s,
+            }
         return payload
 
 

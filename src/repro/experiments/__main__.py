@@ -9,6 +9,7 @@ Regenerate any of the paper's tables and figures from a shell::
     python -m repro.experiments fig1 fig2 fig3
     python -m repro.experiments assumptions
     python -m repro.experiments exp5 --policy affinity --scale 0.1
+    python -m repro.experiments exp6 --scale 0.1
     python -m repro.experiments all --scale 0.1 --json artifacts.json
 
 ``--scale`` shrinks every size (relations, D, M) while preserving the
@@ -39,11 +40,12 @@ from repro.experiments.exp2 import run_experiment2
 from repro.experiments.exp3 import run_experiment3
 from repro.experiments.exp4_faults import run_experiment4
 from repro.experiments.exp5_service import EXPERIMENT5_POLICIES, run_experiment5
+from repro.experiments.exp6_hsm import run_experiment6
 from repro.storage.block import BlockSpec
 from repro.sweep.runner import SweepRunner
 
 ARTIFACTS = ("fig1", "fig2", "fig3", "table3", "fig4", "fig5", "exp3",
-             "assumptions", "exp4", "exp5", "all")
+             "assumptions", "exp4", "exp5", "exp6", "all")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -89,6 +91,12 @@ def _parser() -> argparse.ArgumentParser:
         default=10,
         metavar="N",
         help="largest workload size swept by exp5 (default 10)",
+    )
+    parser.add_argument(
+        "--cache-policy",
+        choices=("lru", "cost"),
+        default="lru",
+        help="partition-cache eviction policy swept by exp6 (default lru)",
     )
     return parser
 
@@ -180,12 +188,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(result.render())
             collected[artifact] = result.to_dict()
+        elif artifact == "exp6":
+            result = run_experiment6(
+                scale=scale,
+                cache_policy=args.cache_policy,
+                runner=runner,
+                trace_out=args.trace_out,
+            )
+            print(result.render())
+            collected[artifact] = result.to_dict()
         print(f"[{artifact} regenerated in {time.perf_counter() - started:.1f}s]\n")
 
     if args.json:
         _write_json_atomic(args.json, collected)
         print(f"wrote {args.json}")
-    if args.trace_out and any(artifact != "exp5" for artifact in wanted):
+    if args.trace_out and any(artifact not in ("exp5", "exp6") for artifact in wanted):
         _run_trace_pass(args.trace_out, args.scale, args.tape)
     report_sweep_usage(runner)
     return 0

@@ -29,6 +29,7 @@ def run_join(
     verify: bool = False,
     fault_plan=None,
     retry_policy=None,
+    partition_cache=None,
 ) -> JoinStats:
     """Run one method on one configuration; optionally verify the output.
 
@@ -36,7 +37,9 @@ def run_join(
     and checksum — expensive for large relations, so experiments sample
     it rather than verifying every point (tests verify exhaustively).
     Passing a ``fault_plan`` (``repro.faults``) runs the join with device
-    fault injection and retry/restart recovery.
+    fault injection and retry/restart recovery; a ``partition_cache``
+    (``repro.hsm``) lets Grace-Hash Step I reuse a prior run's R
+    partition.
     """
     scale = scale or ExperimentScale()
     spec = JoinSpec(
@@ -52,6 +55,7 @@ def run_join(
         trace_devices=trace_devices,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        partition_cache=partition_cache,
     )
     stats = method_by_symbol(symbol).run(spec)
     if verify:

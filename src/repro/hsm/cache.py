@@ -1,0 +1,165 @@
+"""The partition cache: configuration, runtime wrapper and reporting.
+
+:class:`CacheConfig` is the serializable knob that rides on
+:class:`~repro.service.requests.ServiceConfig` (and through the sweep
+cache's fingerprints); :class:`PartitionCache` is the live object — a
+:class:`~repro.hsm.catalog.PartitionCatalog` plus the unit conversions
+the join and service layers need; :class:`CacheReport` is the summary a
+:class:`~repro.service.metrics.WorkloadReport` carries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.hsm.catalog import PartitionCatalog, PartitionSetKey
+from repro.hsm.policy import EVICTION_POLICIES
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentScale
+    from repro.relational.relation import Relation
+    from repro.storage.block import DataChunk
+
+#: Bytes per MB, matching ``repro.storage.block``.
+_MB = 1024 * 1024
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Serializable partition-cache settings (paper-MB capacity)."""
+
+    capacity_mb: float = 500.0
+    policy: str = "lru"
+
+    def __post_init__(self):
+        if self.capacity_mb <= 0:
+            raise ValueError(
+                f"cache capacity must be positive, got {self.capacity_mb} MB"
+            )
+        if self.policy not in EVICTION_POLICIES:
+            known = ", ".join(sorted(EVICTION_POLICIES))
+            raise ValueError(
+                f"unknown eviction policy {self.policy!r} (known: {known})"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, stable under cache fingerprinting."""
+        return {"capacity_mb": self.capacity_mb, "policy": self.policy}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CacheConfig":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheReport:
+    """Partition-cache outcome of one service run (or run window)."""
+
+    policy: str
+    capacity_blocks: float
+    used_blocks: float
+    resident_sets: int
+    hits: int
+    misses: int
+    evictions: int
+    rejections: int
+    saved_blocks: float
+    saved_tape_s: float
+    tape_mb_avoided: float
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (derived hit ratio included)."""
+        payload = dataclasses.asdict(self)
+        payload["hit_ratio"] = self.hit_ratio
+        return payload
+
+
+class PartitionCache:
+    """A live partition catalog with block/MB conversions attached.
+
+    One instance is meant to outlive many runs — the service keeps it
+    across :meth:`~repro.service.scheduler.JoinService.run` calls, which
+    is what makes a second (warm) run of the same workload cheap.
+    """
+
+    def __init__(
+        self,
+        capacity_blocks: float,
+        policy: str = "lru",
+        block_bytes: int = 100 * 1024,
+    ):
+        self.catalog = PartitionCatalog(capacity_blocks, policy)
+        self.block_bytes = block_bytes
+
+    @classmethod
+    def from_config(cls, config: CacheConfig, scale: "ExperimentScale") -> "PartitionCache":
+        """Build the runtime cache for a service's scale."""
+        return cls(
+            capacity_blocks=scale.blocks(config.capacity_mb),
+            policy=config.policy,
+            block_bytes=scale.block_spec.block_bytes,
+        )
+
+    # -- keying ----------------------------------------------------------------
+
+    def r_partition_key(self, relation: "Relation", n_buckets: int) -> PartitionSetKey:
+        """The set key of ``relation`` partitioned into ``n_buckets``."""
+        return PartitionSetKey.for_relation(relation, n_buckets)
+
+    # -- catalog pass-throughs -------------------------------------------------
+
+    def lookup(self, set_key, pin: bool = True, count_miss: bool = True):
+        """See :meth:`~repro.hsm.catalog.PartitionCatalog.lookup`."""
+        return self.catalog.lookup(set_key, pin=pin, count_miss=count_miss)
+
+    def admit(
+        self,
+        set_key: PartitionSetKey,
+        buckets: typing.Sequence[tuple[float, "DataChunk | None"]],
+        value_s: float,
+    ) -> bool:
+        """See :meth:`~repro.hsm.catalog.PartitionCatalog.admit`."""
+        return self.catalog.admit(set_key, buckets, value_s)
+
+    def unpin(self, set_key: PartitionSetKey) -> None:
+        """See :meth:`~repro.hsm.catalog.PartitionCatalog.unpin`."""
+        self.catalog.unpin(set_key)
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self, since: "CacheReport | None" = None) -> CacheReport:
+        """Counters as a report; ``since`` subtracts an earlier snapshot.
+
+        Capacity/occupancy fields are always current values — only the
+        monotone counters are windowed, which is how a warm run reports
+        its own hits rather than the cache's lifetime totals.
+        """
+        catalog = self.catalog
+        base = dict.fromkeys(
+            ("hits", "misses", "evictions", "rejections",
+             "saved_blocks", "saved_tape_s", "tape_mb_avoided"), 0,
+        )
+        if since is not None:
+            base = dataclasses.asdict(since)
+        saved_blocks = catalog.saved_blocks - base["saved_blocks"]
+        return CacheReport(
+            policy=catalog.policy.name,
+            capacity_blocks=catalog.capacity_blocks,
+            used_blocks=catalog.used_blocks,
+            resident_sets=catalog.n_sets,
+            hits=catalog.hits - base["hits"],
+            misses=catalog.misses - base["misses"],
+            evictions=catalog.evictions - base["evictions"],
+            rejections=catalog.rejections - base["rejections"],
+            saved_blocks=saved_blocks,
+            saved_tape_s=catalog.saved_tape_s - base["saved_tape_s"],
+            tape_mb_avoided=saved_blocks * self.block_bytes / _MB,
+        )

@@ -1,0 +1,322 @@
+"""The partition catalog: content-keyed cached hash partitions on disk.
+
+Grace-Hash Step I turns a tape-resident relation into ``B`` hash-bucket
+extents on disk, normally used once and discarded.  The catalog keeps
+those partitions: each bucket is addressed by a :class:`PartitionKey` —
+(relation content fingerprint, hash function, bucket count, bucket id) —
+so a later join over the *same data* partitioned the *same way* finds
+its Step I output already disk-resident, byte for byte.
+
+Accounting is block-accurate against a fixed capacity (a slice of the
+paper's ``D``): every admit reserves the set's exact block total, every
+eviction releases it, and a set larger than the whole cache is rejected
+outright.  Sets are atomic — admitted, evicted and pinned as a whole —
+so a partial bucket set can never be observed (a join that found only
+some buckets would silently lose tuples).  Pinned sets belong to
+in-flight joins and are never eviction candidates; capacity pressure
+that only pinned sets could relieve rejects the admission instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import typing
+import weakref
+
+import numpy as np
+
+from repro.hsm.policy import EvictionPolicy, eviction_policy_by_name
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.relation import Relation
+    from repro.storage.block import DataChunk
+
+#: The one partitioning hash the join methods use (Knuth multiplicative
+#: hashing, ``repro.relational.hashing.bucket_ids``).  Part of every key
+#: so a future second hash function can coexist in one catalog.
+HASH_FN = "fib64"
+
+#: Content fingerprints per live Relation object; relations are memoized
+#: by the service and the sweep workers, so each is hashed once.
+_FP_MEMO: "weakref.WeakKeyDictionary[Relation, str]" = weakref.WeakKeyDictionary()
+
+
+def relation_fingerprint(relation: "Relation") -> str:
+    """sha256 over the relation's key array and block geometry.
+
+    Content-addressed on purpose: two requests naming different volumes
+    but carrying identical data (same generator seed and sizes) share
+    cached partitions, and a regenerated relation with different keys
+    never matches a stale entry.
+    """
+    cached = _FP_MEMO.get(relation)
+    if cached is None:
+        digest = hashlib.sha256()
+        digest.update(str(relation.tuples_per_block).encode())
+        digest.update(np.ascontiguousarray(relation.keys, dtype=np.int64).tobytes())
+        cached = digest.hexdigest()
+        _FP_MEMO[relation] = cached
+    return cached
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionSetKey:
+    """Identity of one relation's full partition: all B buckets."""
+
+    relation: str
+    hash_fn: str
+    n_buckets: int
+
+    def bucket(self, bucket: int) -> "PartitionKey":
+        """The key of one member bucket."""
+        return PartitionKey(self.relation, self.hash_fn, self.n_buckets, bucket)
+
+    @classmethod
+    def for_relation(cls, relation: "Relation", n_buckets: int) -> "PartitionSetKey":
+        """Key for ``relation`` hashed into ``n_buckets`` buckets."""
+        return cls(relation_fingerprint(relation), HASH_FN, n_buckets)
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionKey:
+    """Identity of one cached bucket."""
+
+    relation: str
+    hash_fn: str
+    n_buckets: int
+    bucket: int
+
+    @property
+    def set_key(self) -> PartitionSetKey:
+        """The partition set this bucket belongs to."""
+        return PartitionSetKey(self.relation, self.hash_fn, self.n_buckets)
+
+
+@dataclasses.dataclass
+class CatalogEntry:
+    """One cached bucket: its key, block footprint and (optional) content.
+
+    ``data`` carries the bucket's tuples when the producer ran in a real
+    simulation (the grace-hash integration re-installs them on a hit);
+    the service scheduler, which charges jobs as opaque time windows,
+    caches footprints only and leaves ``data`` as None.
+    """
+
+    key: PartitionKey
+    blocks: float
+    data: "DataChunk | None" = None
+
+
+class _PartitionSet:
+    """Internal per-set state: entries plus recency/pin bookkeeping."""
+
+    __slots__ = ("key", "entries", "blocks", "value_s", "inserted_tick",
+                 "last_used_tick", "pins", "hits")
+
+    def __init__(self, key: PartitionSetKey, entries: list[CatalogEntry],
+                 value_s: float, tick: int):
+        self.key = key
+        self.entries = entries
+        self.blocks = sum(entry.blocks for entry in entries)
+        self.value_s = value_s
+        self.inserted_tick = tick
+        self.last_used_tick = tick
+        self.pins = 0
+        self.hits = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SetView:
+    """Read-only snapshot of one resident set, as policies see it."""
+
+    key: PartitionSetKey
+    blocks: float
+    value_s: float
+    inserted_tick: int
+    last_used_tick: int
+    pins: int
+    hits: int
+
+
+class PartitionCatalog:
+    """Bucket-level catalog with block-accurate capacity accounting.
+
+    The recency clock is a logical tick advanced per catalog operation,
+    not simulated time: the catalog outlives individual simulator runs
+    (that is its entire point), and each run's clock restarts at zero.
+    """
+
+    def __init__(self, capacity_blocks: float, policy: str | EvictionPolicy = "lru"):
+        if capacity_blocks <= 0:
+            raise ValueError(
+                f"cache capacity must be positive, got {capacity_blocks} blocks"
+            )
+        if isinstance(policy, str):
+            policy = eviction_policy_by_name(policy)
+        self.capacity_blocks = float(capacity_blocks)
+        self.policy = policy
+        self._sets: dict[PartitionSetKey, _PartitionSet] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.rejections = 0
+        self.saved_blocks = 0.0
+        self.saved_tape_s = 0.0
+
+    # -- capacity accounting ---------------------------------------------------
+
+    @property
+    def used_blocks(self) -> float:
+        """Blocks occupied by resident sets."""
+        return sum(s.blocks for s in self._sets.values())
+
+    @property
+    def free_blocks(self) -> float:
+        """Blocks available without evicting."""
+        return self.capacity_blocks - self.used_blocks
+
+    @property
+    def n_sets(self) -> int:
+        """Resident partition sets."""
+        return len(self._sets)
+
+    def views(self) -> list[SetView]:
+        """Snapshots of every resident set (insertion order)."""
+        return [self._view(s) for s in self._sets.values()]
+
+    @staticmethod
+    def _view(s: _PartitionSet) -> SetView:
+        return SetView(s.key, s.blocks, s.value_s, s.inserted_tick,
+                       s.last_used_tick, s.pins, s.hits)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def contains(self, set_key: PartitionSetKey) -> bool:
+        """Whether the full bucket set is resident (no counters touched)."""
+        return set_key in self._sets
+
+    def lookup(
+        self,
+        set_key: PartitionSetKey,
+        pin: bool = True,
+        count_miss: bool = True,
+    ) -> list[CatalogEntry] | None:
+        """All B bucket entries on a hit, None on a miss.
+
+        A hit counts toward the hit/saved counters, refreshes recency and
+        (by default) pins the set for the caller's join; every successful
+        lookup therefore needs a matching :meth:`unpin`.  ``count_miss=
+        False`` suits double-checked callers that will look up again
+        after queueing — the retry counts the miss exactly once.
+        """
+        self._tick += 1
+        resident = self._sets.get(set_key)
+        if resident is None:
+            if count_miss:
+                self.misses += 1
+            return None
+        resident.last_used_tick = self._tick
+        resident.hits += 1
+        if pin:
+            resident.pins += 1
+        self.hits += 1
+        self.saved_blocks += resident.blocks
+        self.saved_tape_s += resident.value_s
+        return list(resident.entries)
+
+    # -- pinning ---------------------------------------------------------------
+
+    def pin(self, set_key: PartitionSetKey) -> None:
+        """Shield a resident set from eviction (counted; nestable)."""
+        self._resident(set_key).pins += 1
+
+    def unpin(self, set_key: PartitionSetKey) -> None:
+        """Release one pin taken by :meth:`pin` or :meth:`lookup`."""
+        resident = self._resident(set_key)
+        if resident.pins <= 0:
+            raise ValueError(f"set {set_key} is not pinned")
+        resident.pins -= 1
+
+    def _resident(self, set_key: PartitionSetKey) -> _PartitionSet:
+        resident = self._sets.get(set_key)
+        if resident is None:
+            raise KeyError(f"partition set {set_key} is not resident")
+        return resident
+
+    # -- admission / eviction --------------------------------------------------
+
+    def admit(
+        self,
+        set_key: PartitionSetKey,
+        buckets: typing.Sequence[tuple[float, "DataChunk | None"]],
+        value_s: float,
+    ) -> bool:
+        """Insert a full bucket set; evict per policy until it fits.
+
+        ``buckets`` is one ``(blocks, data)`` pair per bucket id, in
+        bucket order; ``value_s`` is the tape-read time one future hit
+        saves (planner Step I estimate or measured Step I).  Victims are
+        chosen up front and only evicted once the whole set is known to
+        fit, so a rejected admission never costs a resident set.  Returns
+        False — counting a rejection — when the set exceeds capacity, the
+        policy declines the trade, or only pinned sets could make room.
+        """
+        if len(buckets) != set_key.n_buckets:
+            raise ValueError(
+                f"set {set_key} needs {set_key.n_buckets} buckets, "
+                f"got {len(buckets)}"
+            )
+        self._tick += 1
+        resident = self._sets.get(set_key)
+        if resident is not None:  # concurrent producer won the race
+            resident.last_used_tick = self._tick
+            return True
+        total = sum(blocks for blocks, _data in buckets)
+        if total > self.capacity_blocks + 1e-9:
+            self.rejections += 1
+            return False
+        incoming = SetView(set_key, total, value_s, self._tick, self._tick, 0, 0)
+        pool = [self._view(s) for s in self._sets.values() if s.pins == 0]
+        victims: list[SetView] = []
+        free = self.free_blocks
+        while free + 1e-9 < total:
+            if not pool:
+                self.rejections += 1
+                return False
+            victim = self.policy.victim(pool)
+            if not self.policy.admits(incoming, victim):
+                self.rejections += 1
+                return False
+            pool.remove(victim)
+            victims.append(victim)
+            free += victim.blocks
+        for victim in victims:
+            self.evict(victim.key)
+        entries = [
+            CatalogEntry(set_key.bucket(b), blocks, data)
+            for b, (blocks, data) in enumerate(buckets)
+        ]
+        self._sets[set_key] = _PartitionSet(set_key, entries, value_s, self._tick)
+        return True
+
+    def evict(self, set_key: PartitionSetKey) -> None:
+        """Drop a whole resident set (refused while pinned)."""
+        resident = self._resident(set_key)
+        if resident.pins > 0:
+            raise ValueError(f"cannot evict pinned set {set_key}")
+        del self._sets[set_key]
+        self.evictions += 1
+
+    def invalidate(self, set_key: PartitionSetKey) -> bool:
+        """Drop a set if resident and unpinned; True when dropped.
+
+        Unlike :meth:`evict` this does not count as a policy eviction —
+        it is the caller declaring the content stale.
+        """
+        resident = self._sets.get(set_key)
+        if resident is None or resident.pins > 0:
+            return False
+        del self._sets[set_key]
+        return True

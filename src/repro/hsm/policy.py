@@ -1,0 +1,83 @@
+"""Eviction policies for the partition catalog.
+
+A policy picks the next *partition set* to evict — never an individual
+bucket, so a relation's cached partition is either wholly present or
+wholly absent (Step I consumes all-or-nothing).  Candidates are
+unpinned sets only; the catalog filters pinned sets out before asking.
+
+* ``lru`` — least recently used set (classic recency).
+* ``cost`` — lowest value density first, where a set's value is the
+  tape-read time its next hit saves (from the planner/estimator Step I
+  cost) divided by the disk blocks it occupies.  NOCAP's observation,
+  one level up: under a fixed disk budget the blocks should go to the
+  partitions whose re-read from tape is most expensive per block.  The
+  cost policy additionally refuses to evict a *denser* set to admit a
+  sparser one — admission control and eviction share the metric.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.hsm.catalog import SetView
+
+
+class EvictionPolicy:
+    """Base class: a named, deterministic victim selector."""
+
+    name = "?"
+
+    def victim(self, candidates: typing.Sequence["SetView"]) -> "SetView":
+        """Pick the set to evict next from non-empty ``candidates``."""
+        raise NotImplementedError
+
+    def admits(self, incoming: "SetView", victim: "SetView") -> bool:
+        """Whether evicting ``victim`` to admit ``incoming`` is worth it."""
+        return True
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently used set (ties broken by insertion)."""
+
+    name = "lru"
+
+    def victim(self, candidates):
+        """Oldest last-use wins; insertion order breaks exact ties."""
+        return min(candidates, key=lambda s: (s.last_used_tick, s.inserted_tick))
+
+
+class CostAwarePolicy(EvictionPolicy):
+    """Evict the set saving the least tape time per cached block."""
+
+    name = "cost"
+
+    @staticmethod
+    def _density(view: "SetView") -> float:
+        return view.value_s / view.blocks if view.blocks > 0 else float("inf")
+
+    def victim(self, candidates):
+        """Lowest tape-seconds-saved per block; LRU breaks ties."""
+        return min(
+            candidates,
+            key=lambda s: (self._density(s), s.last_used_tick, s.inserted_tick),
+        )
+
+    def admits(self, incoming, victim):
+        """Never trade a denser resident set for a sparser newcomer."""
+        return self._density(incoming) > self._density(victim)
+
+
+#: Registry of the built-in eviction policies by name.
+EVICTION_POLICIES: dict[str, EvictionPolicy] = {
+    policy.name: policy for policy in (LruPolicy(), CostAwarePolicy())
+}
+
+
+def eviction_policy_by_name(name: str) -> EvictionPolicy:
+    """Look up an eviction policy, with the known names in the error."""
+    try:
+        return EVICTION_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(EVICTION_POLICIES))
+        raise KeyError(f"unknown eviction policy {name!r} (known: {known})") from None

@@ -6,7 +6,7 @@ hardware: a :class:`~repro.service.broker.ResourceBroker` leases tape
 drives, disk blocks and memory to jobs (media exchanges charged via the
 library robot); pluggable :mod:`~repro.service.policies` order the
 batch (FIFO, shortest-job-first on planner estimates, tape-affinity
-batching); admission enforces Table 2 feasibility per job via
+and cache-affinity batching); admission enforces Table 2 feasibility per job via
 ``repro.core.planner``; and disk-based jobs release the R drive after
 Step I so the next job's tape read overlaps their disk-resident
 Step II — the service-level analogue of the paper's CDT concurrency.
@@ -26,6 +26,7 @@ from repro.service.estimators import (
 from repro.service.metrics import SERVICE_SPAN_CATS, JobOutcome, WorkloadReport
 from repro.service.policies import (
     POLICIES,
+    CacheAffinityPolicy,
     FifoPolicy,
     SchedulingPolicy,
     ShortestJobFirstPolicy,
@@ -38,6 +39,7 @@ from repro.service.scheduler import AdmittedJob, JoinService, run_service
 __all__ = [
     "AdmittedJob",
     "AnalyticalEstimator",
+    "CacheAffinityPolicy",
     "DriveLease",
     "FifoPolicy",
     "JobOutcome",

@@ -31,6 +31,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover - cycle guard
 #: Step I and runs Step II against the disk array.
 TAPE_STEP2_SYMBOLS = frozenset({"CTT-GH", "TT-GH"})
 
+#: Methods whose Step I output is a disk-resident R hash partition the
+#: HSM cache (``repro.hsm``) can keep across jobs.  The nested-block
+#: methods stage raw R pieces, not partitions, and the tape–tape methods
+#: leave nothing on disk.
+CACHEABLE_STEP1_SYMBOLS = frozenset({"DT-GH", "CDT-GH"})
+
 
 @dataclasses.dataclass(frozen=True)
 class JobProfile:

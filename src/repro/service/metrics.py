@@ -17,11 +17,13 @@ import typing
 from repro.experiments.report import format_table
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hsm.cache import CacheReport
     from repro.obs.recorder import JoinObserver
 
 #: Span categories a service run records (see docs/observability.md):
-#: per-job lifetime, queueing, robot mounts and the two join steps.
-SERVICE_SPAN_CATS = ("job", "wait", "mount", "step1", "step2")
+#: per-job lifetime, queueing, robot mounts, the two join steps and
+#: partition-cache hits (``repro.hsm``; cache-enabled runs only).
+SERVICE_SPAN_CATS = ("job", "wait", "mount", "step1", "step2", "cache")
 
 
 def percentile(values: typing.Sequence[float], q: float) -> float:
@@ -90,6 +92,10 @@ class WorkloadReport:
     deadline_misses: int
     fault_events: int
     fault_recovery_s: float
+    #: Partition-cache outcome of this run (``repro.hsm``); None when
+    #: the service ran without a cache, keeping serialized reports
+    #: byte-identical to pre-HSM builds.
+    cache: "CacheReport | None" = None
     #: The run's observer for trace export; excluded from serialization
     #: and comparisons, like ``JoinStats.observer``.
     observer: "JoinObserver | None" = dataclasses.field(
@@ -116,8 +122,12 @@ class WorkloadReport:
         }
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (observer omitted)."""
-        return {
+        """JSON-serializable form (observer omitted).
+
+        The ``cache`` key appears only on cache-enabled runs, so
+        cache-less reports keep their pre-HSM byte form.
+        """
+        payload = {
             "policy": self.policy,
             "estimator": self.estimator,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
@@ -130,6 +140,9 @@ class WorkloadReport:
             "fault_events": self.fault_events,
             "fault_recovery_s": self.fault_recovery_s,
         }
+        if self.cache is not None:
+            payload["cache"] = self.cache.to_dict()
+        return payload
 
     def render(self) -> str:
         """Human-readable per-job table plus a summary block."""
@@ -164,6 +177,14 @@ class WorkloadReport:
         ]
         if self.rejected:
             summary.append(f"rejected at admission: {len(self.rejected)} job(s)")
+        if self.cache is not None:
+            summary.append(
+                f"partition cache ({self.cache.policy}): "
+                f"{self.cache.hits} hit(s) / {self.cache.misses} miss(es) "
+                f"({100 * self.cache.hit_ratio:.0f}% hit), "
+                f"{self.cache.tape_mb_avoided:.0f} MB tape read avoided, "
+                f"{self.cache.evictions} eviction(s)"
+            )
         if self.fault_events:
             summary.append(
                 f"faults: {self.fault_events} event(s), "

@@ -19,6 +19,7 @@ import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.experiments.config import ExperimentScale
+    from repro.hsm.cache import CacheConfig
     from repro.storage.disk import DiskParameters
     from repro.storage.tape import TapeDriveParameters
 
@@ -145,6 +146,13 @@ class ServiceConfig:
     scale: "ExperimentScale" = dataclasses.field(default_factory=_default_scale)
     tape: "TapeDriveParameters" = dataclasses.field(default_factory=_default_tape)
     disk_params: "DiskParameters" = dataclasses.field(default_factory=_default_disk)
+    #: Optional cross-job partition cache (``repro.hsm``).  None — the
+    #: default — keeps the service byte-identical to builds without the
+    #: HSM layer; a :class:`~repro.hsm.cache.CacheConfig` reserves a
+    #: dedicated disk region (beyond the broker's per-job pool, so cached
+    #: partitions never starve admissions) in which Grace-Hash Step I
+    #: output is kept across jobs and across ``run()`` calls.
+    cache: "CacheConfig | None" = None
 
     def __post_init__(self):
         if self.n_drives < 1:
@@ -168,7 +176,7 @@ class ServiceConfig:
         """JSON-serializable form, stable under cache fingerprinting."""
         from repro.sweep.serialize import disk_to_dict, scale_to_dict, tape_to_dict
 
-        return {
+        payload = {
             "n_drives": self.n_drives,
             "memory_mb": self.memory_mb,
             "disk_mb": self.disk_mb,
@@ -180,6 +188,11 @@ class ServiceConfig:
             "tape": tape_to_dict(self.tape),
             "disk_params": disk_to_dict(self.disk_params),
         }
+        # Present only when a cache is configured, so cache-less service
+        # fingerprints (and every pre-HSM sweep cache entry) are stable.
+        if self.cache is not None:
+            payload["cache"] = self.cache.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ServiceConfig":
@@ -190,4 +203,8 @@ class ServiceConfig:
         payload["scale"] = scale_from_dict(payload["scale"])
         payload["tape"] = tape_from_dict(payload["tape"])
         payload["disk_params"] = disk_from_dict(payload["disk_params"])
+        if payload.get("cache") is not None:
+            from repro.hsm.cache import CacheConfig
+
+            payload["cache"] = CacheConfig.from_dict(payload["cache"])
         return cls(**payload)

@@ -50,6 +50,7 @@ from repro.simulator.engine import Simulator
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
     from repro.faults.policy import RetryPolicy
+    from repro.hsm.catalog import PartitionSetKey
     from repro.relational.relation import Relation
 
 #: Process-local relation memo: workloads reuse a handful of (r, s)
@@ -80,6 +81,9 @@ class AdmittedJob:
     memory_blocks: float
     disk_blocks: float
     profile: JobProfile | None = None
+    #: HSM partition-cache key for this job's Step I output; None when
+    #: the service has no cache or the method's Step I is not cacheable.
+    cache_key: "PartitionSetKey | None" = None
 
 
 class JoinService:
@@ -93,6 +97,17 @@ class JoinService:
         self.config = config or ServiceConfig()
         self.estimator = estimator or AnalyticalEstimator()
         self._requests: list[JoinRequest] = []
+        # The partition cache is owned by the *service*, not by a run:
+        # it survives across run() calls, so a second pass over the same
+        # workload starts warm (see docs/hsm.md).
+        if self.config.cache is not None:
+            from repro.hsm.cache import PartitionCache
+
+            self.cache = PartitionCache.from_config(
+                self.config.cache, self.config.scale
+            )
+        else:
+            self.cache = None
 
     def submit(self, request: JoinRequest | None = None, **kwargs) -> JoinRequest:
         """Queue a request (or build one from keyword arguments)."""
@@ -191,6 +206,15 @@ class JoinService:
                 f"the service has {config.n_drives}"
             )
         entry = ranked[symbol]
+        cache_key = None
+        if self.cache is not None:
+            from repro.service.estimators import CACHEABLE_STEP1_SYMBOLS
+
+            if symbol in CACHEABLE_STEP1_SYMBOLS:
+                from repro.core.base import GraceHashLayout
+
+                n_buckets = GraceHashLayout(spec).n_buckets
+                cache_key = self.cache.r_partition_key(spec.relation_r, n_buckets)
         return (
             AdmittedJob(
                 index=index,
@@ -202,6 +226,7 @@ class JoinService:
                 estimated_s=entry.estimated_s,
                 memory_blocks=memory,
                 disk_blocks=disk,
+                cache_key=cache_key,
             ),
             None,
         )
@@ -260,8 +285,33 @@ class JoinService:
                 self._job_process(sim, broker, observer, job, records),
                 name=job.request.name,
             )
+        cache_before = self.cache.report() if self.cache is not None else None
         sim.run()
-        return self._report(policy, admitted, rejected, records, broker, observer)
+        return self._report(
+            policy, admitted, rejected, records, broker, observer, cache_before
+        )
+
+    def _offer_partition(self, job: AdmittedJob, observer) -> None:
+        """Offer a finished Step I's R partition to the cache.
+
+        The service models Step I as an opaque busy window, so there is
+        no materialized bucket data to keep; the catalog tracks the
+        partition's disk *footprint* (its blocks, spread over the
+        layout's buckets) and its value — the profiled Step I seconds a
+        future hit saves.  No producer pin: once offered, the entry is
+        fair game for eviction until some job's hit pins it.
+        """
+        if self.cache is None or job.cache_key is None:
+            return
+        n_buckets = job.cache_key.n_buckets
+        share = job.spec.size_r_blocks / n_buckets
+        admitted = self.cache.admit(
+            job.cache_key,
+            [(share, None)] * n_buckets,
+            value_s=job.profile.step1_s,
+        )
+        if admitted:
+            observer.count("cache.admit")
 
     def _job_process(self, sim, broker, observer, job, records):
         """One job's lifetime: pools, mounts, Step I, Step II, release."""
@@ -294,21 +344,50 @@ class JoinService:
         else:
             # Disk-based methods: R drive for Step I only, then the disk
             # array serves Step II while the drive moves to the next job.
-            leases = yield broker.acquire([request.volume_r])
-            exchanges += yield from broker.mount(leases[0], request.volume_r)
-            started = sim.now
-            yield sim.timeout(profile.step1_s)
-            observer.device_busy(leases[0].name, started, sim.now, "step1-read")
-            observer.device_busy("disk-array", started, sim.now, "step1-write")
-            broker.release(leases)
+            # With an HSM cache, a resident R partition skips the R drive
+            # entirely; the hit pins the set so it survives until Step II
+            # finishes reading it.
+            pinned = (
+                job.cache_key is not None
+                and self.cache.lookup(job.cache_key, count_miss=False) is not None
+            )
+            if not pinned:
+                leases = yield broker.acquire([request.volume_r])
+                # Double-checked: an earlier job sharing this relation
+                # may have populated the cache while this one queued for
+                # the drive.  The second lookup counts the miss.
+                if (
+                    job.cache_key is not None
+                    and self.cache.lookup(job.cache_key) is not None
+                ):
+                    pinned = True
+                    broker.release(leases)
+                else:
+                    if job.cache_key is not None:
+                        observer.count("cache.miss")
+                    exchanges += yield from broker.mount(leases[0], request.volume_r)
+                    started = sim.now
+                    yield sim.timeout(profile.step1_s)
+                    observer.device_busy(leases[0].name, started, sim.now, "step1-read")
+                    observer.device_busy("disk-array", started, sim.now, "step1-write")
+                    broker.release(leases)
+                    self._offer_partition(job, observer)
             leases = yield broker.acquire([request.volume_s])
             exchanges += yield from broker.mount(leases[0], request.volume_s)
+            if pinned:
+                started = sim.now
+                observer.count("cache.hit")
+                observer.span(
+                    f"{request.name} cache hit", started, started, cat="cache"
+                )
             step2_start = sim.now
             yield sim.timeout(profile.step2_s)
             finished = sim.now
             observer.device_busy(leases[0].name, step2_start, finished, "step2-read")
             observer.device_busy("disk-array", step2_start, finished, "step2")
             broker.release(leases)
+            if pinned:
+                self.cache.unpin(job.cache_key)
         broker.disk.put(job.disk_blocks)
         broker.memory.put(job.memory_blocks)
         observer.span(request.name, submitted, finished, cat="job")
@@ -323,8 +402,15 @@ class JoinService:
             "exchanges": exchanges,
         }
 
-    def _report(self, policy, admitted, rejected, records, broker, observer):
-        """Assemble the WorkloadReport from run records."""
+    def _report(
+        self, policy, admitted, rejected, records, broker, observer, cache_before=None
+    ):
+        """Assemble the WorkloadReport from run records.
+
+        ``cache_before`` is the cache's counter snapshot taken before
+        the simulation ran; the report shows *this run's* hits/misses
+        even though the cache itself persists across runs.
+        """
         outcomes: list[JobOutcome] = list(rejected)
         fault_events = 0
         fault_recovery_s = 0.0
@@ -365,6 +451,11 @@ class JoinService:
             deadline_misses=sum(1 for o in outcomes if o.deadline_met is False),
             fault_events=fault_events,
             fault_recovery_s=fault_recovery_s,
+            cache=(
+                self.cache.report(since=cache_before)
+                if self.cache is not None
+                else None
+            ),
             observer=observer,
         )
 

@@ -259,6 +259,31 @@ class DiskArray:
         extent.chunks.append(_PlacedChunk(chunk, placement, extent))
         extent.n_blocks += chunk.n_blocks
 
+    def install(self, extent: StripedExtent, chunk: DataChunk) -> None:
+        """Place already-disk-resident content: space, but no I/O.
+
+        The HSM partition cache (``repro.hsm``) restores cached bucket
+        extents through this path.  Placement and capacity accounting
+        are exactly a write's — the blocks genuinely occupy disks — but
+        no simulated time passes and no traffic is counted, because the
+        data was left on disk by an earlier join rather than moved.
+
+        Unlike a fresh write, the chunk is always striped evenly across
+        the member disks: the producer's bucket flushes alternated arms
+        and left the content spread over the array, so reads of the
+        installed extent must keep the same parallelism even when the
+        chunk is below the stripe threshold.
+        """
+        share = chunk.n_blocks / len(extent.disks)
+        if all(d.free_blocks + 1e-9 >= share for d in extent.disks):
+            placement = [(disk, share) for disk in extent.disks]
+        else:
+            placement = extent._place(chunk.n_blocks)
+        for disk, blocks in placement:
+            disk._reserve(blocks)
+        extent.chunks.append(_PlacedChunk(chunk, placement, extent))
+        extent.n_blocks += chunk.n_blocks
+
     def write_burst(
         self, writes: list[tuple[StripedExtent, DataChunk]]
     ) -> typing.Generator:

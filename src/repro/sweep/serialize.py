@@ -65,8 +65,20 @@ def stats_to_dict(stats: JoinStats) -> dict:
     for field in dataclasses.fields(JoinStats):
         # obs_summary is derived observability data; like the raw traces
         # it stays out of cache entries so fault-free sweep results keep
-        # their original byte-identical form.
-        if field.name in ("traces", "obs_summary", "observer"):
+        # their original byte-identical form.  The partition-cache
+        # counters stay out for the same reason: sweep tasks never carry
+        # a live cache (a cached partition would make results depend on
+        # task order), so the fields are always zero and serializing
+        # them would churn every existing cache entry.
+        if field.name in (
+            "traces",
+            "obs_summary",
+            "observer",
+            "cache_hits",
+            "cache_misses",
+            "cache_saved_blocks",
+            "cache_saved_s",
+        ):
             continue
         if field.name == "output":
             payload["output"] = {

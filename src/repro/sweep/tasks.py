@@ -16,7 +16,12 @@ Task kinds:
 * ``assumption`` — one of the Section 3.2 assumption measurements;
 * ``service`` — run one multi-join workload through the scheduler
   service (``repro.service``) under one policy, returning the
-  serialized :class:`~repro.service.metrics.WorkloadReport`.
+  serialized :class:`~repro.service.metrics.WorkloadReport`;
+* ``hsm`` — a service workload with the partition cache in play
+  (``repro.hsm``).  Same executor and report shape as ``service``; the
+  separate kind keeps cache-sweep entries out of the ``service``
+  namespace and documents that the payload's config may carry a
+  ``cache`` key.
 """
 
 from __future__ import annotations
@@ -165,6 +170,33 @@ def service_task(
             "policy": None if retry_policy is None else retry_policy.to_dict(),
         }
     return SweepTask("service", payload)
+
+
+def hsm_task(
+    policy: str,
+    requests: typing.Sequence,
+    config,
+    estimator: str = "analytical",
+) -> SweepTask:
+    """A task running one cache-aware service workload (``repro.hsm``).
+
+    ``config.cache`` may be a :class:`~repro.hsm.cache.CacheConfig` or
+    None (the cache-off comparison point); either way the config's
+    serialized form — cache settings included — lands in the payload,
+    so cache size and eviction policy are part of the fingerprint.
+    Faults and the partition cache are not combined (a restarted Step I
+    would have to invalidate its half-written cache entry), so unlike
+    :func:`service_task` there is no fault plan parameter.
+    """
+    return SweepTask(
+        "hsm",
+        {
+            "policy": policy,
+            "estimator": estimator,
+            "requests": [request.to_dict() for request in requests],
+            "config": config.to_dict(),
+        },
+    )
 
 
 def _encode_param(value):
@@ -378,6 +410,9 @@ _EXECUTORS: dict[str, typing.Callable[[dict], dict]] = {
     "assumption": _run_assumption_task,
     "selftest": _run_selftest_task,
     "service": _run_service_task,
+    # Cache-aware service runs share the service executor: the payload
+    # config's optional "cache" key is all that differs.
+    "hsm": _run_service_task,
 }
 
 

@@ -1,0 +1,212 @@
+"""Unit tests for the partition catalog, eviction policies and cache."""
+
+import pytest
+
+from repro.experiments.config import ExperimentScale
+from repro.hsm.cache import CacheConfig, PartitionCache
+from repro.hsm.catalog import PartitionCatalog, PartitionSetKey
+from repro.hsm.policy import (
+    EVICTION_POLICIES,
+    CostAwarePolicy,
+    LruPolicy,
+    eviction_policy_by_name,
+)
+from repro.relational.datagen import uniform_relation
+
+from tests.hsm.conftest import buckets, set_key
+
+
+class TestConstruction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PartitionCatalog(capacity_blocks=0.0)
+        with pytest.raises(ValueError):
+            PartitionCatalog(capacity_blocks=-10.0)
+
+    def test_unknown_policy_name_lists_the_known_ones(self):
+        with pytest.raises(KeyError, match="cost"):
+            eviction_policy_by_name("mru")
+
+    def test_registry_covers_the_builtin_policies(self):
+        assert set(EVICTION_POLICIES) == {"lru", "cost"}
+        assert isinstance(EVICTION_POLICIES["lru"], LruPolicy)
+        assert isinstance(EVICTION_POLICIES["cost"], CostAwarePolicy)
+
+
+class TestAdmitLookup:
+    def test_admit_then_lookup_hits_and_accounts_blocks(self, catalog):
+        key = set_key("r1")
+        assert catalog.admit(key, buckets(40.0), value_s=10.0)
+        assert catalog.used_blocks == pytest.approx(40.0)
+        assert catalog.free_blocks == pytest.approx(60.0)
+        assert catalog.n_sets == 1
+        assert catalog.contains(key)
+
+        entries = catalog.lookup(key, pin=False)
+        assert entries is not None
+        assert len(entries) == key.n_buckets
+        assert sum(e.blocks for e in entries) == pytest.approx(40.0)
+        assert catalog.hits == 1 and catalog.misses == 0
+        assert catalog.saved_blocks == pytest.approx(40.0)
+        assert catalog.saved_tape_s == pytest.approx(10.0)
+
+    def test_lookup_miss_counts_once_and_returns_none(self, catalog):
+        assert catalog.lookup(set_key("absent")) is None
+        assert catalog.misses == 1
+        assert catalog.lookup(set_key("absent"), count_miss=False) is None
+        assert catalog.misses == 1  # pre-flight probes are free
+
+    def test_admit_validates_the_whole_set(self, catalog):
+        with pytest.raises(ValueError, match="buckets"):
+            catalog.admit(set_key("r1", n_buckets=4), buckets(40.0, 2), 1.0)
+
+    def test_readmitting_a_resident_set_is_a_touch_not_a_copy(self, catalog):
+        key = set_key("r1")
+        assert catalog.admit(key, buckets(40.0), value_s=10.0)
+        assert catalog.admit(key, buckets(40.0), value_s=10.0)
+        assert catalog.n_sets == 1
+        assert catalog.used_blocks == pytest.approx(40.0)
+
+    def test_oversized_set_is_rejected_without_evicting(self, catalog):
+        assert catalog.admit(set_key("r1"), buckets(40.0), value_s=10.0)
+        assert not catalog.admit(set_key("huge"), buckets(150.0), value_s=99.0)
+        assert catalog.rejections == 1
+        assert catalog.evictions == 0
+        assert catalog.contains(set_key("r1"))
+
+
+class TestEviction:
+    def test_lru_evicts_the_least_recently_used_set(self, catalog):
+        a, b = set_key("a"), set_key("b")
+        assert catalog.admit(a, buckets(40.0), value_s=1.0)
+        assert catalog.admit(b, buckets(40.0), value_s=1.0)
+        catalog.lookup(a, pin=False)  # refresh a; b is now LRU
+        assert catalog.admit(set_key("c"), buckets(40.0), value_s=1.0)
+        assert catalog.contains(a) and not catalog.contains(b)
+        assert catalog.evictions == 1
+
+    def test_failed_admission_evicts_nothing(self, catalog):
+        a, b = set_key("a"), set_key("b")
+        assert catalog.admit(a, buckets(40.0), value_s=1.0)
+        assert catalog.admit(b, buckets(40.0), value_s=1.0)
+        catalog.pin(a)
+        catalog.pin(b)
+        # c needs 80 free blocks, but both residents are pinned.
+        assert not catalog.admit(set_key("c"), buckets(80.0), value_s=9.0)
+        assert catalog.rejections == 1
+        assert catalog.evictions == 0
+        assert catalog.contains(a) and catalog.contains(b)
+
+    def test_cost_policy_refuses_to_trade_dense_for_sparse(self):
+        catalog = PartitionCatalog(capacity_blocks=100.0, policy="cost")
+        dense = set_key("dense")
+        assert catalog.admit(dense, buckets(80.0), value_s=800.0)  # 10 s/blk
+        # The newcomer is worth far less per block: declined.
+        assert not catalog.admit(set_key("sparse"), buckets(80.0), value_s=8.0)
+        assert catalog.rejections == 1
+        assert catalog.contains(dense)
+        # A denser newcomer does displace the resident.
+        assert catalog.admit(set_key("denser"), buckets(80.0), value_s=1600.0)
+        assert not catalog.contains(dense)
+
+    def test_direct_evict_and_invalidate(self, catalog):
+        key = set_key("r1")
+        assert catalog.admit(key, buckets(40.0), value_s=1.0)
+        catalog.pin(key)
+        with pytest.raises(ValueError, match="pinned"):
+            catalog.evict(key)
+        assert not catalog.invalidate(key)  # pinned: declined, not raised
+        catalog.unpin(key)
+        assert catalog.invalidate(key)
+        assert catalog.evictions == 0  # invalidation is not a policy eviction
+        assert not catalog.invalidate(key)  # already gone
+
+
+class TestPinning:
+    def test_lookup_pins_and_unpin_releases(self, catalog):
+        key = set_key("r1")
+        assert catalog.admit(key, buckets(40.0), value_s=1.0)
+        assert catalog.lookup(key) is not None  # default pin=True
+        (view,) = catalog.views()
+        assert view.pins == 1
+        catalog.unpin(key)
+        (view,) = catalog.views()
+        assert view.pins == 0
+
+    def test_pins_are_counted_for_concurrent_consumers(self, catalog):
+        key = set_key("r1")
+        assert catalog.admit(key, buckets(40.0), value_s=1.0)
+        catalog.pin(key)
+        catalog.pin(key)
+        catalog.unpin(key)
+        with pytest.raises(ValueError, match="pinned"):
+            catalog.evict(key)  # one consumer still holds it
+        catalog.unpin(key)
+        catalog.evict(key)
+
+    def test_unpin_below_zero_raises(self, catalog):
+        key = set_key("r1")
+        assert catalog.admit(key, buckets(40.0), value_s=1.0)
+        with pytest.raises(ValueError):
+            catalog.unpin(key)
+
+    def test_pin_of_absent_set_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.pin(set_key("absent"))
+
+
+class TestCacheConfig:
+    def test_validates_capacity_and_policy(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_mb=0.0)
+        with pytest.raises(ValueError):
+            CacheConfig(policy="mru")
+
+    def test_round_trips_through_dict(self):
+        config = CacheConfig(capacity_mb=250.0, policy="cost")
+        assert CacheConfig.from_dict(config.to_dict()) == config
+
+    def test_from_config_scales_paper_mb_to_blocks(self, scale):
+        cache = PartitionCache.from_config(CacheConfig(capacity_mb=500.0), scale)
+        assert cache.catalog.capacity_blocks == pytest.approx(scale.blocks(500.0))
+
+
+class TestPartitionCache:
+    def test_relation_keying_is_content_addressed(self, scale):
+        cache = PartitionCache(capacity_blocks=100.0)
+        r1 = uniform_relation("R", 2.0, tuple_bytes=2048, seed=11)
+        same_bytes = uniform_relation("other-name", 2.0, tuple_bytes=2048, seed=11)
+        other = uniform_relation("R", 2.0, tuple_bytes=2048, seed=12)
+        key = cache.r_partition_key(r1, n_buckets=4)
+        assert key == cache.r_partition_key(same_bytes, n_buckets=4)
+        assert key != cache.r_partition_key(other, n_buckets=4)
+        assert key != cache.r_partition_key(r1, n_buckets=8)
+
+    def test_report_windows_the_monotone_counters(self):
+        cache = PartitionCache(capacity_blocks=100.0)
+        key = set_key("r1")
+        cache.admit(key, buckets(40.0), value_s=10.0)
+        cache.lookup(key, pin=False)
+        before = cache.report()
+        assert before.hits == 1 and before.misses == 0
+        cache.lookup(key, pin=False)
+        cache.lookup(set_key("absent"))
+        windowed = cache.report(since=before)
+        assert windowed.hits == 1 and windowed.misses == 1
+        assert windowed.hit_ratio == pytest.approx(0.5)
+        # Occupancy is current state, not a delta.
+        assert windowed.used_blocks == pytest.approx(40.0)
+        assert windowed.resident_sets == 1
+
+    def test_empty_report_has_zero_hit_ratio(self):
+        report = PartitionCache(capacity_blocks=10.0).report()
+        assert report.hit_ratio == 0.0
+        assert report.to_dict()["hit_ratio"] == 0.0
+
+    def test_tape_mb_avoided_uses_the_block_geometry(self):
+        cache = PartitionCache(capacity_blocks=100.0, block_bytes=100 * 1024)
+        key = set_key("r1")
+        cache.admit(key, buckets(40.0), value_s=10.0)
+        cache.lookup(key, pin=False)
+        expected_mb = 40.0 * 100 * 1024 / (1024 * 1024)
+        assert cache.report().tape_mb_avoided == pytest.approx(expected_mb)

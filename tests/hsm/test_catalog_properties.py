@@ -1,0 +1,90 @@
+"""Property tests: the catalog's invariants under random workloads.
+
+``docs/hsm.md`` points here for the two load-bearing guarantees:
+``used_blocks <= capacity_blocks`` always holds, and a pinned set
+survives arbitrary capacity pressure until its last consumer unpins.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hsm.catalog import PartitionCatalog, PartitionSetKey
+
+CAPACITY = 100.0
+NAMES = tuple(f"rel-{i}" for i in range(6))
+
+
+def _key(name: str) -> PartitionSetKey:
+    return PartitionSetKey(relation=name, hash_fn="fib64", n_buckets=2)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["admit", "lookup", "pin", "unpin", "invalidate"]),
+        st.sampled_from(NAMES),
+        st.floats(min_value=5.0, max_value=90.0),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops, policy=st.sampled_from(["lru", "cost"]))
+def test_capacity_and_pin_invariants(ops, policy):
+    catalog = PartitionCatalog(capacity_blocks=CAPACITY, policy=policy)
+    pins: dict[PartitionSetKey, int] = {}
+
+    for op, name, blocks in ops:
+        key = _key(name)
+        if op == "admit":
+            catalog.admit(key, [(blocks / 2, None)] * 2, value_s=blocks)
+        elif op == "lookup":
+            if catalog.lookup(key) is not None:  # a hit pins
+                pins[key] = pins.get(key, 0) + 1
+        elif op == "pin":
+            if catalog.contains(key):
+                catalog.pin(key)
+                pins[key] = pins.get(key, 0) + 1
+        elif op == "unpin":
+            if pins.get(key, 0) > 0:
+                catalog.unpin(key)
+                pins[key] -= 1
+        elif op == "invalidate":
+            dropped = catalog.invalidate(key)
+            assert not (dropped and pins.get(key, 0) > 0)
+
+        # Invariant 1: the catalog never overcommits its capacity.
+        assert catalog.used_blocks <= CAPACITY + 1e-9
+        assert catalog.free_blocks >= -1e-9
+        # Invariant 2: every set a consumer still pins stays resident.
+        for pinned_key, count in pins.items():
+            if count > 0:
+                assert catalog.contains(pinned_key)
+
+    # Bookkeeping coherence after the dust settles.
+    assert catalog.used_blocks == sum(v.blocks for v in catalog.views())
+    for view in catalog.views():
+        assert view.pins == pins.get(view.key, 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=5.0, max_value=90.0), min_size=2, max_size=20)
+)
+def test_pinned_set_survives_sustained_pressure(sizes):
+    """A pinned hot set outlives a stream of admissions that overflows
+    the catalog many times over."""
+    catalog = PartitionCatalog(capacity_blocks=CAPACITY)
+    hot = _key("hot")
+    assert catalog.admit(hot, [(20.0, None)] * 2, value_s=1.0)
+    catalog.pin(hot)
+
+    for i, blocks in enumerate(sizes):
+        catalog.admit(_key(f"churn-{i}"), [(blocks / 2, None)] * 2, value_s=1.0)
+        assert catalog.contains(hot)
+        assert catalog.used_blocks <= CAPACITY + 1e-9
+
+    catalog.unpin(hot)
+    # Once unpinned it is fair game again: enough pressure can evict it.
+    assert catalog.admit(_key("flood"), [(45.0, None)] * 2, value_s=99.0)

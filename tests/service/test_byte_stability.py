@@ -31,6 +31,14 @@ JOIN_TASK_FINGERPRINT = (
     "6240a682ac46b80b58a1b50ae99d50ee4cba02678bb9d91d257f80b27271a031"
 )
 
+#: The recorded fingerprint of a canonical cache-less service task,
+#: taken on the commit before the HSM layer landed.  A cache-less
+#: ServiceConfig must serialize without a "cache" key, so service sweep
+#: entries written pre-HSM stay addressable.
+SERVICE_TASK_FINGERPRINT = (
+    "9fb0a898377a229829b028baf07158a102f01ff3a0201ba50e9e2a48928314a2"
+)
+
 
 def digest(payload: dict) -> str:
     return hashlib.sha256(
@@ -87,3 +95,29 @@ class TestCacheAddressing:
             tape=BASE_TAPE, disk_params=DISK_1996, scale=scale_8k,
         )
         assert task_fingerprint(task.kind, task.payload) == JOIN_TASK_FINGERPRINT
+
+    def test_service_task_fingerprint_is_unchanged(self, scale_2k):
+        from repro.experiments.exp5_service import service_workload
+        from repro.service.requests import ServiceConfig
+        from repro.sweep import task_fingerprint
+        from repro.sweep.tasks import service_task
+
+        config = ServiceConfig(scale=scale_2k)
+        assert "cache" not in config.to_dict()
+        task = service_task("fifo", service_workload(4), config)
+        assert task_fingerprint(task.kind, task.payload) == SERVICE_TASK_FINGERPRINT
+
+    def test_cacheless_stats_serialization_has_no_cache_keys(self, scale_2k):
+        from repro.experiments.harness import run_join
+        from repro.sweep.serialize import stats_to_dict
+
+        relation_r, relation_s = scale_2k.relations(18.0, 100.0)
+        stats = run_join(
+            "DT-GH", relation_r, relation_s,
+            memory_blocks=scale_2k.blocks(9.0),
+            disk_blocks=scale_2k.blocks(50.0),
+            scale=scale_2k,
+        )
+        payload = stats_to_dict(stats)
+        assert "partition_cache" not in payload
+        assert not any(key.startswith("cache_") for key in payload)

@@ -53,12 +53,12 @@ class TestAffinity:
 
 class TestRegistry:
     def test_known_policies(self):
-        assert set(POLICIES) == {"fifo", "sjf", "affinity"}
+        assert set(POLICIES) == {"fifo", "sjf", "affinity", "cache-affinity"}
 
     def test_fifo_is_submission_order(self, admitted):
         ordered = policy_by_name("fifo").order(list(reversed(admitted)))
         assert [job.index for job in ordered] == sorted(j.index for j in admitted)
 
     def test_unknown_policy_lists_the_known_ones(self):
-        with pytest.raises(KeyError, match="affinity, fifo, sjf"):
+        with pytest.raises(KeyError, match="affinity, cache-affinity, fifo, sjf"):
             policy_by_name("priority")
